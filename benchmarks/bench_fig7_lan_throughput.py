@@ -1,0 +1,112 @@
+"""Figure 7 (a-f): ordering throughput in the Gigabit LAN.
+
+Paper results reproduced as shapes:
+
+- with 10-envelope blocks the peak is ~50 k tx/s (signing-bound,
+  shared CPU with the replication protocol -- below the 84 k
+  stand-alone bound of Figure 6);
+- with 100-envelope blocks small envelopes reach much higher
+  throughput (~1,100 blocks/s of 100 envelopes);
+- throughput falls as receivers grow, but the effect is far smaller
+  for 1/4 KB envelopes (replication-protocol-bound);
+- larger clusters are slower for large envelopes; the worst case
+  (10 nodes, 4 KB, 32 receivers) still clears ~2,200 tx/s;
+- at 16-32 receivers, block- and cluster-size variants of the same
+  envelope size converge.
+
+The six panels come from the calibrated capacity model; a full-stack
+discrete-event simulation cross-validates an operating point per
+binding resource.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    BLOCK_SIZES,
+    CLUSTER_SIZES,
+    ENVELOPE_SIZES,
+    RECEIVER_COUNTS,
+    figure7_all_panels,
+    figure7_panel,
+    simulate_lan_throughput,
+)
+from repro.bench.tables import render_figure7_panel, render_lan_sim
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_all_panels(benchmark, record_result):
+    panels = benchmark.pedantic(figure7_all_panels, rounds=1, iterations=1)
+    text = []
+    for (orderers, block_size), panel in sorted(panels.items()):
+        text.append(render_figure7_panel(orderers, block_size, panel))
+    record_result("figure7", "\n\n".join(text))
+
+    for (orderers, block_size), panel in panels.items():
+        for es in ENVELOPE_SIZES:
+            series = [panel[es][r] for r in RECEIVER_COUNTS]
+            # shape: monotone non-increasing in receivers
+            assert all(a >= b * 0.999 for a, b in zip(series, series[1:]))
+        for r in RECEIVER_COUNTS:
+            by_size = [panel[es][r] for es in ENVELOPE_SIZES]
+            # shape: smaller envelopes never do worse
+            assert all(a >= b * 0.999 for a, b in zip(by_size, by_size[1:]))
+
+    # peak ~50k tx/s for 10-envelope blocks (paper: ~50,000)
+    peak_10 = panels[(4, 10)][40][1]
+    assert 45_000 < peak_10 < 60_000
+    # 100-envelope blocks lift small-envelope throughput
+    assert panels[(4, 100)][40][1] > panels[(4, 10)][40][1]
+    # worst case (10 orderers, 4 KB, 32 receivers) ~2,200 tx/s
+    floor = panels[(10, 100)][4096][32]
+    assert 1_500 < floor < 3_000
+    # receiver impact smaller for big envelopes (relative drop 1->32)
+    drop_small = panels[(4, 10)][40][1] / panels[(4, 10)][40][32]
+    drop_large = panels[(4, 10)][4096][1] / panels[(4, 10)][4096][32]
+    assert drop_large < drop_small
+    # convergence: at 32 receivers, the (cluster, block) spread of each
+    # envelope size is much tighter than at 1 receiver
+    for es in (1024, 4096):
+        at_1 = [panels[key][es][1] for key in panels]
+        at_32 = [panels[key][es][32] for key in panels]
+        assert (max(at_32) / min(at_32)) < (max(at_1) / min(at_1)) * 1.01
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_block_rate_about_1100(benchmark, record_result):
+    """§6.2: ~1,100 blocks/s when cutting 100-envelope blocks."""
+    panel = benchmark.pedantic(
+        lambda: figure7_panel(4, 100), rounds=1, iterations=1
+    )
+    block_rate = panel[200][4] / 100.0
+    record_result(
+        "figure7_blockrate",
+        f"block rate at (4 orderers, 100 env/block, 200 B, 4 recv): "
+        f"{block_rate:.0f} blocks/s (paper: ~1,100)",
+    )
+    assert 300 < block_rate < 3_000
+
+
+@pytest.mark.benchmark(group="figure7-sim")
+def test_figure7_simulation_cross_validation(benchmark, record_result):
+    """Full-stack DES vs capacity model on three operating points."""
+
+    def run_all():
+        return [
+            # propose-bandwidth-bound: model and sim should agree well
+            simulate_lan_throughput(4, 10, 1024, 2, duration=1.0, warmup=0.3),
+            # signing-bound small envelopes
+            simulate_lan_throughput(4, 10, 200, 1, duration=0.6, warmup=0.2),
+            # dissemination-heavy
+            simulate_lan_throughput(4, 10, 4096, 8, duration=1.0, warmup=0.3),
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_result("figure7_sim_validation", render_lan_sim(results))
+    bw_bound = results[0]
+    assert bw_bound.generated_rate == pytest.approx(
+        bw_bound.model_prediction, rel=0.25
+    )
+    for result in results:
+        # same order of magnitude in every regime
+        assert result.generated_rate > result.model_prediction * 0.3
+        assert result.generated_rate < result.model_prediction * 3.0

@@ -1,0 +1,44 @@
+"""Figure 7's central trend, measured on the full simulated stack.
+
+Complements the capacity-model panels in ``bench_fig7_lan_throughput``:
+here the *entire* system (clients -> frontends -> BFT-SMaRt consensus
+-> block cutter -> signing pool -> dissemination over a shared 1 Gb/s
+NIC) runs end to end while the number of receivers sweeps 1 -> 4 -> 16,
+and end-to-end delivered throughput must fall monotonically -- the
+paper's headline LAN effect.
+"""
+
+import pytest
+
+from repro.bench.figures import simulate_lan_throughput
+from repro.bench.tables import render_lan_sim
+
+
+@pytest.mark.benchmark(group="figure7-sim")
+def test_receiver_sweep_end_to_end(benchmark, record_result):
+    def sweep():
+        return [
+            simulate_lan_throughput(
+                orderers=4,
+                block_size=10,
+                envelope_size=1024,
+                receivers=receivers,
+                duration=1.0,
+                warmup=0.3,
+            )
+            for receivers in (1, 4, 16)
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result("figure7_receiver_sweep_sim", render_lan_sim(results))
+
+    delivered = [r.delivered_rate for r in results]
+    # the paper's shape: fewer transactions get through as fan-out grows
+    assert delivered[0] >= delivered[1] * 0.99
+    assert delivered[1] > delivered[2]
+    # and the decline is substantial by 16 receivers (NIC-bound)
+    assert delivered[2] < 0.8 * delivered[0]
+    # generation at node 0 stays decoupled from fan-out only until the
+    # NIC saturates; sanity-check it never exceeds the offered load
+    for result in results:
+        assert result.generated_rate <= result.offered_rate * 1.05

@@ -1,0 +1,72 @@
+"""Figure 8: geo-distributed latency, blocks of 10 envelopes.
+
+Paper results reproduced as shapes, at >1,000 tx/s with ordering nodes
+in Oregon/Ireland/Sydney/São Paulo (+Virginia for WHEAT) and frontends
+in Canada/Oregon/Virginia/São Paulo:
+
+- WHEAT's latency is consistently lower than BFT-SMaRt's across all
+  frontends, by roughly half;
+- envelope size has a minor impact (<~30 ms between 40 B and 4 KB);
+- frontend placement matters more: São Paulo (Vmin side) is slower
+  than the Vmax-collocated frontends under WHEAT;
+- absolute medians sit around half a second or below.
+"""
+
+import pytest
+
+from repro.bench.figures import GEO_FRONTEND_SITES, figure8
+from repro.bench.tables import render_geo_results
+
+ENVELOPE_SIZES = (40, 200, 1024, 4096)
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_geo_latency(benchmark, record_result):
+    results = benchmark.pedantic(
+        lambda: figure8(envelope_sizes=ENVELOPE_SIZES, duration=6.0, rate=1100.0),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "figure8",
+        render_geo_results("Figure 8: geo latency, blocks of 10 envelopes", results),
+    )
+
+    for es in ENVELOPE_SIZES:
+        for region in GEO_FRONTEND_SITES:
+            bft = next(
+                r for r in results["bftsmart"][es] if r.frontend_region == region
+            )
+            wheat = next(
+                r for r in results["wheat"][es] if r.frontend_region == region
+            )
+            # shape 1: WHEAT consistently beats BFT-SMaRt
+            assert wheat.median < bft.median
+            assert wheat.p90 < bft.p90
+            # sanity: enough samples and sustained >1000 tx/s
+            assert bft.samples > 1000
+            assert bft.throughput > 1000
+            assert wheat.throughput > 1000
+
+    # shape 2: WHEAT's improvement is large (paper: almost 50%)
+    for es in ENVELOPE_SIZES:
+        bft_median = min(r.median for r in results["bftsmart"][es])
+        wheat_median = min(r.median for r in results["wheat"][es])
+        assert wheat_median < 0.75 * bft_median
+
+    # shape 3: envelope size has minor impact on latency
+    for protocol in ("bftsmart", "wheat"):
+        for region in GEO_FRONTEND_SITES:
+            medians = [
+                next(
+                    r
+                    for r in results[protocol][es]
+                    if r.frontend_region == region
+                ).median
+                for es in ENVELOPE_SIZES
+            ]
+            assert max(medians) - min(medians) < 0.120
+
+    # shape 4: half-a-second medians with WHEAT (paper's headline)
+    for es in ENVELOPE_SIZES:
+        assert all(r.median < 0.55 for r in results["wheat"][es])

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one table/figure of the paper, asserts the
+*shape* properties the paper reports, and writes the rendered rows to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be checked
+against fresh numbers at any time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a rendered result table to benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""The full Hyperledger Fabric pipeline over the BFT ordering service.
+
+Reproduces Figure 2 of the paper end to end: two organizations run
+endorsing and committing peers; clients endorse asset-transfer
+transactions, submit them through a frontend to the 4-node BFT-SMaRt
+ordering cluster, and wait for validated commitment.  The example also
+provokes an MVCC conflict so you can see an invalid transaction being
+recorded (but not executed) on the ledger.
+
+Run:  python examples/asset_transfer.py
+"""
+
+from repro import OrderingServiceConfig, build_ordering_service
+from repro.fabric import (
+    AssetTransferChaincode,
+    ChannelConfig,
+    CommittingPeer,
+    EndorsingPeer,
+    FabricClient,
+    KVChaincode,
+    Or,
+    SignedBy,
+)
+
+
+def build_network():
+    policy = Or(SignedBy("org1"), SignedBy("org2"))
+    channel = ChannelConfig(
+        "trade-channel",
+        max_message_count=3,
+        batch_timeout=0.3,
+        endorsement_policy=policy,
+    )
+    service = build_ordering_service(
+        OrderingServiceConfig(
+            f=1, channel=channel, physical_cores=None, enable_batch_timeout=True
+        )
+    )
+    sim, network, registry = service.sim, service.network, service.registry
+    orderer_names = {node.name for node in service.nodes}
+
+    committers, endorsers = [], []
+    for i, org in enumerate(("org1", "org2")):
+        peer_name = f"peer-{org}"
+        registry.enroll(peer_name, org=org)
+        committer = CommittingPeer(
+            sim, network, peer_name, channel,
+            registry=registry,
+            orderer_names=orderer_names,
+            required_block_signatures=2,  # f+1 valid orderer signatures
+        )
+        network.register(peer_name, committer)
+        service.frontends[0].attach_peer(peer_name)
+        committers.append(committer)
+
+        endorser_name = f"endorser-{org}"
+        identity = registry.enroll(endorser_name, org=org)
+        endorser = EndorsingPeer(
+            network, endorser_name, identity,
+            state_provider=lambda _ch, c=committer: c.state,
+            chaincodes={
+                "asset-transfer": AssetTransferChaincode(),
+                "kv": KVChaincode(),
+            },
+        )
+        network.register(endorser_name, endorser)
+        endorsers.append(endorser)
+
+    def make_client(name):
+        identity = registry.enroll(name, org="clients")
+        return FabricClient(
+            sim, network, identity, registry,
+            endorsers=[e.name for e in endorsers],
+            orderer_endpoint=service.frontends[0].name,
+            default_policy=policy,
+        )
+
+    return service, committers, make_client
+
+
+def main() -> None:
+    service, committers, make_client = build_network()
+    sim = service.sim
+    alice, bob = make_client("alice"), make_client("bob")
+
+    print("1. alice creates two assets ...")
+    futures = [
+        alice.submit_transaction(
+            "trade-channel", "asset-transfer", "create", ("car-7", "alice", 30_000)
+        ),
+        alice.submit_transaction(
+            "trade-channel", "asset-transfer", "create", ("boat-2", "alice", 90_000)
+        ),
+    ]
+    sim.drain(futures, deadline=30.0)
+    for future in futures:
+        event = future.value
+        print(f"   committed in block {event.block_number}: {event.validation_code}")
+
+    print("2. alice sells car-7 to bob ...")
+    transfer = alice.submit_transaction(
+        "trade-channel", "asset-transfer", "transfer", ("car-7", "alice", "bob")
+    )
+    sim.drain([transfer], deadline=30.0)
+    print(f"   {transfer.value.validation_code} in block {transfer.value.block_number}")
+
+    query = alice.query("trade-channel", "asset-transfer", "read", ("car-7",))
+    sim.drain([query], deadline=10.0)
+    print(f"   car-7 is now owned by {query.value['owner']!r}")
+
+    print("3. alice and bob race an increment (MVCC conflict) ...")
+    setup = alice.submit_transaction("trade-channel", "kv", "put", ("odometer", 0))
+    sim.drain([setup], deadline=30.0)
+    race = [
+        alice.submit_transaction("trade-channel", "kv", "increment", ("odometer",)),
+        bob.submit_transaction("trade-channel", "kv", "increment", ("odometer",)),
+    ]
+    sim.drain(race, deadline=30.0)
+    for name, future in zip(("alice", "bob"), race):
+        print(f"   {name}: {future.value.validation_code}")
+    print(f"   odometer = {committers[0].state.get_value('odometer')} "
+          "(the conflicting write was discarded, not applied twice)")
+
+    for committer in committers:
+        assert committer.ledger.verify_chain()
+    heights = {c.ledger.height for c in committers}
+    print(f"\nboth peers hold identical chains of height {heights.pop()}; "
+          "every hash link verifies.")
+
+
+if __name__ == "__main__":
+    main()

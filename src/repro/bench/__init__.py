@@ -1,0 +1,36 @@
+"""Benchmark harness: one entry point per table/figure of the paper.
+
+- :mod:`repro.bench.model` -- the analytic capacity model (Equation 1
+  generalized to every resource bound) with the calibration constants
+  for the paper's Dell R410 / Gigabit testbed;
+- :mod:`repro.bench.topology` -- LAN and AWS WAN latency models;
+- :mod:`repro.bench.workload` -- envelope load generators;
+- :mod:`repro.bench.figures` -- the experiments: ``figure6`` through
+  ``figure9`` plus the conclusion table and our ablations;
+- :mod:`repro.bench.tables` -- ASCII rendering of results.
+"""
+
+from repro.bench.model import (
+    OrderingCapacityModel,
+    SignatureThroughputModel,
+    eq1_bound,
+)
+from repro.bench.topology import (
+    AWS_REGIONS,
+    aws_latency_model,
+    aws_oneway_seconds,
+    lan_latency_model,
+)
+from repro.bench.workload import OpenLoopGenerator, envelope_stream
+
+__all__ = [
+    "AWS_REGIONS",
+    "OpenLoopGenerator",
+    "OrderingCapacityModel",
+    "SignatureThroughputModel",
+    "aws_latency_model",
+    "aws_oneway_seconds",
+    "envelope_stream",
+    "eq1_bound",
+    "lan_latency_model",
+]

@@ -1,0 +1,113 @@
+"""ASCII rendering of benchmark results (what the bench targets print).
+
+Each ``render_*`` function turns the structured results of
+:mod:`repro.bench.figures` into the same rows/series the paper's
+figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.figures import AblationResult, GeoLatencyResult, LanSimResult
+
+
+def _format_rate(value: float) -> str:
+    if value >= 1000:
+        return f"{value / 1000:8.1f}k"
+    return f"{value:8.1f} "
+
+
+def render_figure6(results: Dict[int, Dict[str, float]]) -> str:
+    lines = [
+        "Figure 6: Signature generation for Fabric blocks",
+        f"{'workers':>8} | {'measured sig/s':>15} | {'model sig/s':>12}",
+        "-" * 44,
+    ]
+    for workers in sorted(results):
+        row = results[workers]
+        lines.append(
+            f"{workers:>8} | {row['measured']:>15.0f} | {row['model']:>12.0f}"
+        )
+    peak = max(row["measured"] for row in results.values())
+    lines.append(f"peak: {peak:.0f} signatures/second (paper: ~8,400)")
+    return "\n".join(lines)
+
+
+def render_figure7_panel(
+    orderers: int, block_size: int, panel: Dict[int, Dict[int, float]]
+) -> str:
+    receivers = sorted(next(iter(panel.values())).keys())
+    header = f"{'env size':>9} | " + " | ".join(f"r={r:<4}" for r in receivers)
+    lines = [
+        f"Figure 7: {orderers} orderers, {block_size} envelopes/block "
+        "(ktrans/sec by receivers)",
+        header,
+        "-" * len(header),
+    ]
+    for es in sorted(panel):
+        cells = " | ".join(f"{panel[es][r] / 1000:6.1f}" for r in receivers)
+        lines.append(f"{es:>7} B | {cells}")
+    return "\n".join(lines)
+
+
+def render_geo_results(
+    title: str, results: Dict[str, Dict[int, List[GeoLatencyResult]]]
+) -> str:
+    lines = [title]
+    regions = [r.frontend_region for r in next(iter(next(iter(results.values())).values()))]
+    for region in regions:
+        lines.append(f"\n  frontend: {region}")
+        lines.append(
+            f"  {'env size':>9} | {'BFT-SMaRt med/p90 (ms)':>24} | {'WHEAT med/p90 (ms)':>20}"
+        )
+        for es in sorted(next(iter(results.values()))):
+            cells = []
+            for protocol in ("bftsmart", "wheat"):
+                entry = next(
+                    r for r in results[protocol][es] if r.frontend_region == region
+                )
+                cells.append(f"{entry.median * 1000:6.0f} / {entry.p90 * 1000:6.0f}")
+            lines.append(f"  {es:>7} B | {cells[0]:>24} | {cells[1]:>20}")
+    return "\n".join(lines)
+
+
+def render_lan_sim(results: Sequence[LanSimResult]) -> str:
+    lines = [
+        "Figure 7 cross-validation: capacity model vs full-stack simulation",
+        f"{'n':>3} {'bs':>4} {'es':>6} {'recv':>5} | {'model tx/s':>11} | "
+        f"{'sim generated':>13} | {'sim delivered':>13}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.orderers:>3} {r.block_size:>4} {r.envelope_size:>6} {r.receivers:>5} | "
+            f"{r.model_prediction:>11.0f} | {r.generated_rate:>13.0f} | "
+            f"{r.delivered_rate:>13.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_conclusion(comparison: Dict[str, float]) -> str:
+    return "\n".join(
+        [
+            "§8 comparison (worst case: 10 nodes, 4 KB envelopes, 32 receivers)",
+            f"  BFT ordering service : {comparison['bft_ordering_worst_case']:8.0f} tx/s",
+            f"  Ethereum theoretical : {comparison['ethereum_theoretical_peak']:8.0f} tx/s"
+            f"  ({comparison['speedup_vs_ethereum']:.1f}x)",
+            f"  Bitcoin              : {comparison['bitcoin_peak']:8.0f} tx/s"
+            f"  ({comparison['speedup_vs_bitcoin']:.0f}x)",
+        ]
+    )
+
+
+def render_ablation(results: Sequence[AblationResult]) -> str:
+    lines = [
+        "WHEAT ablation (median/p90 ordering latency, Virginia frontend)",
+        f"{'weights':>8} | {'tentative':>9} | {'median (ms)':>11} | {'p90 (ms)':>9}",
+    ]
+    for r in results:
+        lines.append(
+            f"{str(r.weights):>8} | {str(r.tentative):>9} | "
+            f"{r.median * 1000:>11.0f} | {r.p90 * 1000:>9.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Workload generation for the ordering-service experiments.
+
+The paper drives the service with clients that emulate frontends
+(§6.2: 16-32 asynchronous clients; §6.3: "enough client threads to
+keep node throughput always above 1000 transactions/second").  We
+provide an open-loop generator (fixed aggregate rate, optionally
+jittered) and a simple closed-loop client pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.fabric.envelope import Envelope
+from repro.ordering.frontend import Frontend
+from repro.sim.core import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+def envelope_stream(
+    channel_id: str, size_bytes: int, count: int, submitter: str = "loadgen"
+) -> Iterator[Envelope]:
+    """A finite stream of raw envelopes of one size."""
+    for _ in range(count):
+        yield Envelope.raw(channel_id, size_bytes, submitter=submitter)
+
+
+@dataclass
+class OpenLoopGenerator:
+    """Submits envelopes at a fixed aggregate rate, round-robin over
+    frontends (each frontend then behaves like the paper's client
+    threads feeding the ordering cluster)."""
+
+    sim: Simulator
+    frontends: Sequence[Frontend]
+    channel_id: str
+    envelope_size: int
+    rate_per_second: float
+    duration: float
+    jitter_fraction: float = 0.0
+    streams: Optional[RandomStreams] = None
+    submitted: int = 0
+    _stopped: bool = False
+
+    def start(self) -> None:
+        if self.rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self._interval = 1.0 / self.rate_per_second
+        self._deadline = self.sim.now + self.duration
+        self._rng = (self.streams or RandomStreams(0)).stream("workload")
+        self.sim.call_soon(self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped or self.sim.now > self._deadline:
+            return
+        frontend = self.frontends[self.submitted % len(self.frontends)]
+        envelope = Envelope.raw(
+            self.channel_id, self.envelope_size, submitter="loadgen"
+        )
+        frontend.submit(envelope)
+        self.submitted += 1
+        delay = self._interval
+        if self.jitter_fraction > 0:
+            delay *= 1.0 + self.jitter_fraction * (2.0 * self._rng.random() - 1.0)
+        self.sim.schedule(delay, self._tick)
+
+
+@dataclass
+class ClosedLoopClients:
+    """``clients`` concurrent submitters, each sending its next
+    envelope as soon as the previous one is committed at its frontend.
+
+    Uses the frontend's ``on_block`` hook as the completion signal, so
+    in-flight envelopes are bounded by the client count -- useful to
+    probe latency at a fixed concurrency instead of a fixed rate.
+    """
+
+    sim: Simulator
+    frontend: Frontend
+    channel_id: str
+    envelope_size: int
+    clients: int
+    max_envelopes: int
+    submitted: int = 0
+    completed: int = 0
+    _outstanding: dict = field(default_factory=dict)
+
+    def start(self) -> None:
+        self.frontend.on_block.append(self._on_block)
+        for _ in range(min(self.clients, self.max_envelopes)):
+            self._submit_next()
+
+    def _submit_next(self) -> None:
+        if self.submitted >= self.max_envelopes:
+            return
+        envelope = Envelope.raw(
+            self.channel_id, self.envelope_size, submitter="closedloop"
+        )
+        self._outstanding[envelope.envelope_id] = envelope
+        self.submitted += 1
+        self.frontend.submit(envelope)
+
+    def _on_block(self, block) -> None:
+        for envelope in block.envelopes:
+            if envelope.envelope_id in self._outstanding:
+                del self._outstanding[envelope.envelope_id]
+                self.completed += 1
+                self._submit_next()
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= self.max_envelopes

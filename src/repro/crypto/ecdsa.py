@@ -1,0 +1,255 @@
+"""ECDSA over NIST P-256, from scratch.
+
+Hyperledger Fabric 1.0 signs block headers with ECDSA (paper section
+5.1); this module implements the same primitive in pure Python:
+
+- affine elliptic-curve arithmetic over the P-256 prime field;
+- key generation;
+- RFC 6979 deterministic nonce derivation (no RNG needed at signing
+  time, and signatures are reproducible across runs);
+- DER-free fixed-width (r || s) 64-byte signatures, low-s normalized.
+
+The implementation favours clarity over speed -- one signature costs a
+couple of milliseconds, which incidentally is the same order as the
+paper's measured 1-2 ms per signature on a 2.27 GHz Xeon core.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Short-Weierstrass curve y^2 = x^3 + ax + b over GF(p)."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int  # order of the base point
+
+
+P256 = CurveParams(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+
+class EllipticCurvePoint:
+    """An affine point on a short-Weierstrass curve (or infinity)."""
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(self, curve: CurveParams, x: Optional[int], y: Optional[int]):
+        self.curve = curve
+        self.x = x
+        self.y = y
+        if not self.is_infinity and not self._on_curve():
+            raise ValueError(f"({x}, {y}) is not on {curve.name}")
+
+    @classmethod
+    def infinity(cls, curve: CurveParams) -> "EllipticCurvePoint":
+        return cls(curve, None, None)
+
+    @classmethod
+    def generator(cls, curve: CurveParams) -> "EllipticCurvePoint":
+        return cls(curve, curve.gx, curve.gy)
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def _on_curve(self) -> bool:
+        p, a, b = self.curve.p, self.curve.a, self.curve.b
+        return (self.y * self.y - (self.x * self.x * self.x + a * self.x + b)) % p == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EllipticCurvePoint):
+            return NotImplemented
+        return (
+            self.curve.name == other.curve.name
+            and self.x == other.x
+            and self.y == other.y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.x, self.y))
+
+    def __neg__(self) -> "EllipticCurvePoint":
+        if self.is_infinity:
+            return self
+        return EllipticCurvePoint(self.curve, self.x, (-self.y) % self.curve.p)
+
+    def __add__(self, other: "EllipticCurvePoint") -> "EllipticCurvePoint":
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        p = self.curve.p
+        if self.x == other.x:
+            if (self.y + other.y) % p == 0:
+                return EllipticCurvePoint.infinity(self.curve)
+            return self._double()
+        slope = ((other.y - self.y) * pow(other.x - self.x, -1, p)) % p
+        x3 = (slope * slope - self.x - other.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        return EllipticCurvePoint(self.curve, x3, y3)
+
+    def _double(self) -> "EllipticCurvePoint":
+        p, a = self.curve.p, self.curve.a
+        if self.y == 0:
+            return EllipticCurvePoint.infinity(self.curve)
+        slope = ((3 * self.x * self.x + a) * pow(2 * self.y, -1, p)) % p
+        x3 = (slope * slope - 2 * self.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        return EllipticCurvePoint(self.curve, x3, y3)
+
+    def __mul__(self, scalar: int) -> "EllipticCurvePoint":
+        """Double-and-add scalar multiplication."""
+        if scalar < 0:
+            return (-self) * (-scalar)
+        result = EllipticCurvePoint.infinity(self.curve)
+        addend = self
+        while scalar:
+            if scalar & 1:
+                result = result + addend
+            addend = addend._double() if not addend.is_infinity else addend
+            scalar >>= 1
+        return result
+
+    __rmul__ = __mul__
+
+    def encode(self) -> bytes:
+        """Uncompressed SEC1 encoding (0x04 || x || y)."""
+        if self.is_infinity:
+            return b"\x00"
+        return b"\x04" + self.x.to_bytes(32, "big") + self.y.to_bytes(32, "big")
+
+    @classmethod
+    def decode(cls, curve: CurveParams, data: bytes) -> "EllipticCurvePoint":
+        if data == b"\x00":
+            return cls.infinity(curve)
+        if len(data) != 65 or data[0] != 0x04:
+            raise ValueError("bad point encoding")
+        x = int.from_bytes(data[1:33], "big")
+        y = int.from_bytes(data[33:65], "big")
+        return cls(curve, x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_infinity:
+            return f"<{self.curve.name} point at infinity>"
+        return f"<{self.curve.name} point x={hex(self.x)[:12]}...>"
+
+
+def _bits2int(data: bytes, n: int) -> int:
+    """RFC 6979 bits2int for a 256-bit order."""
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - n.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _rfc6979_nonce(private_key: int, digest: bytes, curve: CurveParams) -> int:
+    """Deterministic per-message nonce k (RFC 6979, HMAC-SHA256)."""
+    n = curve.n
+    holen = 32
+    x_octets = private_key.to_bytes(32, "big")
+    h1 = _bits2int(digest, n) % n
+    h_octets = h1.to_bytes(32, "big")
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    k = hmac.new(k, v + b"\x00" + x_octets + h_octets, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + x_octets + h_octets, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = _bits2int(v, n)
+        if 1 <= candidate < n:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+class ECDSAP256Scheme:
+    """Real ECDSA signatures over P-256 with SHA-256.
+
+    Private keys are ints in [1, n-1]; public keys are encoded curve
+    points (65 bytes); signatures are 64-byte ``r || s`` with low-s.
+    """
+
+    name = "ecdsa-p256"
+    signature_size = 64
+    public_key_size = 65
+
+    def __init__(self, curve: CurveParams = P256):
+        self.curve = curve
+        self._generator = EllipticCurvePoint.generator(curve)
+
+    def keygen(self, rng) -> Tuple[int, bytes]:
+        """Generate (private, public) using ``rng.getrandbits``."""
+        n = self.curve.n
+        while True:
+            private = rng.getrandbits(256) % n
+            if private != 0:
+                break
+        public = (self._generator * private).encode()
+        return private, public
+
+    def derive_public(self, private: int) -> bytes:
+        return (self._generator * private).encode()
+
+    def sign(self, private: int, message: bytes) -> bytes:
+        n = self.curve.n
+        digest = hashlib.sha256(message).digest()
+        z = _bits2int(digest, n) % n
+        while True:
+            k = _rfc6979_nonce(private, digest, self.curve)
+            point = self._generator * k
+            r = point.x % n
+            if r == 0:
+                digest = hashlib.sha256(digest).digest()
+                continue
+            s = (pow(k, -1, n) * (z + r * private)) % n
+            if s == 0:
+                digest = hashlib.sha256(digest).digest()
+                continue
+            if s > n // 2:  # low-s normalization
+                s = n - s
+            return r.to_bytes(32, "big") + s.to_bytes(32, "big")
+
+    def verify(self, public: bytes, message: bytes, signature: bytes) -> bool:
+        if len(signature) != 64:
+            return False
+        n = self.curve.n
+        r = int.from_bytes(signature[:32], "big")
+        s = int.from_bytes(signature[32:], "big")
+        if not (1 <= r < n and 1 <= s < n):
+            return False
+        try:
+            q = EllipticCurvePoint.decode(self.curve, public)
+        except ValueError:
+            return False
+        if q.is_infinity:
+            return False
+        digest = hashlib.sha256(message).digest()
+        z = _bits2int(digest, n) % n
+        w = pow(s, -1, n)
+        u1 = (z * w) % n
+        u2 = (r * w) % n
+        point = self._generator * u1 + q * u2
+        if point.is_infinity:
+            return False
+        return point.x % n == r

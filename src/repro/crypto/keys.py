@@ -1,0 +1,79 @@
+"""Identities and the membership key registry.
+
+Plays the role of Fabric's membership service provider (MSP): every
+participant -- ordering nodes, endorsing peers, clients, frontends --
+is enrolled once, receives a key pair, and everyone else can look up
+its verifier by name.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.crypto.signatures import SignatureScheme, Signer, Verifier
+
+
+@dataclass
+class Identity:
+    """An enrolled participant: name, organization and key material."""
+
+    name: str
+    org: str
+    signer: Signer
+    verifier: Verifier
+
+    def sign(self, message: bytes) -> bytes:
+        return self.signer.sign(message)
+
+    @property
+    def public(self) -> bytes:
+        return self.verifier.public
+
+
+@dataclass
+class KeyRegistry:
+    """Issues identities and resolves verifiers by name or public key.
+
+    The registry is trusted configuration (like an MSP's root certs):
+    protocols never ask it for private keys, only for verifiers.
+    """
+
+    scheme: SignatureScheme
+    rng: random.Random = field(default_factory=lambda: random.Random(0xC0FFEE))
+    _by_name: Dict[str, Identity] = field(default_factory=dict)
+    _by_public: Dict[bytes, Identity] = field(default_factory=dict)
+
+    def enroll(self, name: str, org: str = "org0") -> Identity:
+        """Create and register an identity (name must be unique)."""
+        if name in self._by_name:
+            raise ValueError(f"identity {name!r} already enrolled")
+        private, public = self.scheme.keygen(self.rng)
+        identity = Identity(
+            name=name,
+            org=org,
+            signer=Signer(self.scheme, private, public),
+            verifier=Verifier(self.scheme, public),
+        )
+        self._by_name[name] = identity
+        self._by_public[public] = identity
+        return identity
+
+    def get(self, name: str) -> Identity:
+        return self._by_name[name]
+
+    def verifier_of(self, name: str) -> Verifier:
+        return self._by_name[name].verifier
+
+    def identity_by_public(self, public: bytes) -> Optional[Identity]:
+        return self._by_public.get(public)
+
+    def org_of(self, name: str) -> str:
+        return self._by_name[name].org
+
+    def names(self) -> Iterable[str]:
+        return self._by_name.keys()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

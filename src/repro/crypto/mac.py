@@ -1,0 +1,57 @@
+"""Pairwise HMAC authentication for replica-to-replica channels.
+
+BFT-SMaRt authenticates its replica links with MAC vectors rather than
+signatures (cheaper by orders of magnitude).  This module provides the
+same primitive: every ordered pair of nodes shares a symmetric key
+derived from a deployment secret, and messages carry an HMAC-SHA256
+tag over their canonical encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, Hashable, Tuple
+
+from repro.crypto.hashing import canonical_encode
+
+#: Modeled core-seconds per MAC (HMAC-SHA256 of a small message); three
+#: orders of magnitude cheaper than an ECDSA signature.
+MAC_COST = 1.5e-6
+
+MAC_SIZE = 32
+
+
+class MacAuthenticator:
+    """Creates and checks per-link MACs for one node.
+
+    All authenticators of one deployment must be built from the same
+    ``deployment_secret`` -- this mimics the pairwise session keys
+    BFT-SMaRt establishes at connection time.
+    """
+
+    def __init__(self, node_id: Hashable, deployment_secret: bytes = b"repro"):
+        self.node_id = node_id
+        self._secret = deployment_secret
+        self._keys: Dict[Tuple[Hashable, Hashable], bytes] = {}
+
+    def _key(self, a: Hashable, b: Hashable) -> bytes:
+        """Symmetric key for the unordered pair {a, b}."""
+        pair = (a, b) if repr(a) <= repr(b) else (b, a)
+        key = self._keys.get(pair)
+        if key is None:
+            material = self._secret + canonical_encode([repr(pair[0]), repr(pair[1])])
+            key = hashlib.sha256(material).digest()
+            self._keys[pair] = key
+        return key
+
+    def tag(self, dst: Hashable, message_bytes: bytes) -> bytes:
+        """MAC for a message this node sends to ``dst``."""
+        return hmac.new(self._key(self.node_id, dst), message_bytes, hashlib.sha256).digest()
+
+    def check(self, src: Hashable, message_bytes: bytes, tag: bytes) -> bool:
+        """Validate the MAC on a message received from ``src``."""
+        expected = hmac.new(
+            self._key(src, self.node_id), message_bytes, hashlib.sha256
+        ).digest()
+        return hmac.compare_digest(expected, tag)

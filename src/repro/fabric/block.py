@@ -1,0 +1,94 @@
+"""Blocks and block headers (paper Figure 1 / section 5.1).
+
+A block header carries the block number, the hash of the *previous
+header* and the hash of the block's envelopes; ordering nodes sign the
+header only, which is why signing throughput is independent of the
+envelope and block sizes (paper section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.hashing import sha256
+from repro.fabric.envelope import Envelope
+
+#: Genesis "previous hash".
+GENESIS_PREVIOUS_HASH = b"\x00" * 32
+
+#: Serialized header bytes (number + two hashes + lengths).
+HEADER_SIZE = 72
+
+#: Per-envelope framing inside a block.
+ENVELOPE_FRAMING = 8
+
+
+def compute_data_hash(envelopes: List[Envelope]) -> bytes:
+    """Hash of a block's envelope list."""
+    return sha256("block-data", [e.digest() for e in envelopes])
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """The signed portion of a block."""
+
+    number: int
+    previous_hash: bytes
+    data_hash: bytes
+
+    def digest(self) -> bytes:
+        return sha256("block-header", self.number, self.previous_hash, self.data_hash)
+
+    def signing_payload(self) -> bytes:
+        return self.digest()
+
+
+@dataclass
+class Block:
+    """A block: header + envelopes + signatures in the metadata."""
+
+    header: BlockHeader
+    envelopes: List[Envelope]
+    #: ordering-node signatures over the header: signer name -> sig
+    signatures: Dict[str, bytes] = field(default_factory=dict)
+    channel_id: str = "system"
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    def digest(self) -> bytes:
+        return self.header.digest()
+
+    def data_size(self) -> int:
+        return sum(e.payload_size + ENVELOPE_FRAMING for e in self.envelopes)
+
+    def wire_size(self) -> int:
+        signatures = sum(64 + 16 for _ in self.signatures)
+        return HEADER_SIZE + self.data_size() + signatures
+
+    def verify_data(self) -> bool:
+        """Does the header's data hash match the envelopes carried?"""
+        return compute_data_hash(self.envelopes) == self.header.data_hash
+
+
+def make_block(
+    number: int,
+    previous_hash: bytes,
+    envelopes: List[Envelope],
+    channel_id: str = "system",
+) -> Block:
+    header = BlockHeader(
+        number=number,
+        previous_hash=previous_hash,
+        data_hash=compute_data_hash(envelopes),
+    )
+    return Block(header=header, envelopes=list(envelopes), channel_id=channel_id)
+
+
+def genesis_block(channel_id: str = "system") -> Block:
+    """Block 0 of a channel (a config block in real HLF)."""
+    config_envelope = Envelope.raw(channel_id, payload_size=128, submitter="genesis")
+    config_envelope.is_config = True
+    return make_block(0, GENESIS_PREVIOUS_HASH, [config_envelope], channel_id)

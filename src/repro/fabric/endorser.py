@@ -1,0 +1,109 @@
+"""Endorsing peers (paper section 3, step 2).
+
+An endorsing peer simulates a proposed transaction against its current
+world state, producing read/write sets, and signs the result.  Nothing
+is written to the ledger at this point.  Access control is checked
+before execution (the client must be authorized for the chaincode).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.crypto.keys import Identity
+from repro.fabric.api import ProposalMessage, ProposalResponseMessage
+from repro.fabric.chaincode import Chaincode, ChaincodeError, ChaincodeStub
+from repro.fabric.envelope import ChaincodeProposal, ProposalResponse, ReadSet, WriteSet
+from repro.fabric.statedb import VersionedKVStore
+from repro.sim.network import Network
+
+
+class EndorsingPeer:
+    """One endorsing peer, attached to the simulated network.
+
+    ``state_provider`` returns the live world state for a channel --
+    typically the co-located committing peer's store, so endorsement
+    sees committed state (endorsement and validation *can* happen at
+    different peers, per the paper; wiring is the deployment's choice).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        identity: Identity,
+        state_provider: Callable[[str], VersionedKVStore],
+        chaincodes: Optional[Dict[str, Chaincode]] = None,
+        acl: Optional[Set[str]] = None,
+    ):
+        self.network = network
+        self.name = name
+        self.identity = identity
+        self.state_provider = state_provider
+        self.chaincodes: Dict[str, Chaincode] = dict(chaincodes or {})
+        #: clients allowed to invoke chaincode (None = everyone)
+        self.acl = acl
+        self.endorsements_produced = 0
+        self.rejections = 0
+
+    def install(self, chaincode: Chaincode) -> None:
+        self.chaincodes[chaincode.chaincode_id] = chaincode
+
+    # ------------------------------------------------------------------
+    def deliver(self, src, message) -> None:
+        if isinstance(message, ProposalMessage):
+            self._endorse(message)
+
+    def _endorse(self, message: ProposalMessage) -> None:
+        response = self.endorse(message.proposal)
+        reply = ProposalResponseMessage(response)
+        self.network.send(self.name, message.reply_to, reply, reply.wire_size())
+
+    def endorse(self, proposal: ChaincodeProposal) -> ProposalResponse:
+        """Simulate the proposal and sign the result."""
+        if self.acl is not None and proposal.client not in self.acl:
+            self.rejections += 1
+            return self._failure(proposal, f"client {proposal.client!r} not authorized")
+        chaincode = self.chaincodes.get(proposal.chaincode_id)
+        if chaincode is None:
+            self.rejections += 1
+            return self._failure(
+                proposal, f"chaincode {proposal.chaincode_id!r} not installed"
+            )
+        state = self.state_provider(proposal.channel_id)
+        stub = ChaincodeStub(state)
+        try:
+            result = chaincode.invoke(stub, proposal.function, proposal.args)
+        except ChaincodeError as exc:
+            self.rejections += 1
+            return self._failure(proposal, str(exc))
+        except Exception as exc:  # chaincode crashed: contain it
+            self.rejections += 1
+            return self._failure(
+                proposal, f"chaincode panic: {type(exc).__name__}: {exc}"
+            )
+        response = ProposalResponse(
+            proposal_digest=proposal.digest(),
+            endorser=self.name,
+            org=self.identity.org,
+            read_set=stub.read_set,
+            write_set=stub.write_set,
+            result=result,
+            success=True,
+        )
+        response.signature = self.identity.sign(response.signed_payload())
+        self.endorsements_produced += 1
+        return response
+
+    def _failure(self, proposal: ChaincodeProposal, reason: str) -> ProposalResponse:
+        response = ProposalResponse(
+            proposal_digest=proposal.digest(),
+            endorser=self.name,
+            org=self.identity.org,
+            read_set=ReadSet(),
+            write_set=WriteSet(),
+            result=reason,
+            success=False,
+        )
+        response.signature = self.identity.sign(response.signed_payload())
+        return response

@@ -1,0 +1,176 @@
+"""Transactions, proposals, endorsements and envelopes (HLF data model).
+
+An *envelope* is the unit the ordering service orders: a signed wrapper
+around a transaction proposal carrying the endorsing peers' read/write
+sets and signatures (paper section 3, step 3).  The ordering service
+never inspects its contents -- only its size matters there -- but
+committing peers re-validate everything inside.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import sha256
+
+#: Version of a key: (block number, transaction index within block).
+Version = Tuple[int, int]
+
+_tx_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class ChaincodeProposal:
+    """A client's signed request to invoke a chaincode function."""
+
+    channel_id: str
+    chaincode_id: str
+    function: str
+    args: Tuple[Any, ...]
+    client: str
+    nonce: int
+    timestamp: float = 0.0
+
+    def digest(self) -> bytes:
+        return sha256(
+            "proposal",
+            self.channel_id,
+            self.chaincode_id,
+            self.function,
+            [repr(a) for a in self.args],
+            self.client,
+            self.nonce,
+        )
+
+
+@dataclass
+class ReadSet:
+    """Versioned keys read during simulation (MVCC check input)."""
+
+    reads: Dict[str, Optional[Version]] = field(default_factory=dict)
+
+    def digest(self) -> bytes:
+        return sha256(
+            "readset", {k: list(v) if v else None for k, v in self.reads.items()}
+        )
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+
+@dataclass
+class WriteSet:
+    """Key updates produced during simulation (None value = delete)."""
+
+    writes: Dict[str, Optional[Any]] = field(default_factory=dict)
+
+    def digest(self) -> bytes:
+        return sha256("writeset", {k: repr(v) for k, v in self.writes.items()})
+
+    def __len__(self) -> int:
+        return len(self.writes)
+
+
+@dataclass
+class ProposalResponse:
+    """An endorsing peer's simulation result + signature."""
+
+    proposal_digest: bytes
+    endorser: str
+    org: str
+    read_set: ReadSet
+    write_set: WriteSet
+    result: Any
+    success: bool
+    signature: bytes = b""
+
+    def signed_payload(self) -> bytes:
+        return sha256(
+            "response",
+            self.proposal_digest,
+            self.read_set.digest(),
+            self.write_set.digest(),
+            repr(self.result),
+            self.success,
+        )
+
+
+@dataclass
+class Endorsement:
+    """The (endorser, signature) pair attached to a transaction."""
+
+    endorser: str
+    org: str
+    signature: bytes
+
+
+@dataclass
+class Transaction:
+    """A fully-assembled transaction awaiting ordering + validation."""
+
+    proposal: ChaincodeProposal
+    read_set: ReadSet
+    write_set: WriteSet
+    result: Any
+    endorsements: List[Endorsement]
+    client_signature: bytes = b""
+    tx_id: int = field(default_factory=lambda: next(_tx_counter))
+
+    def response_payload(self) -> bytes:
+        """What each endorsement must have signed."""
+        return sha256(
+            "response",
+            self.proposal.digest(),
+            self.read_set.digest(),
+            self.write_set.digest(),
+            repr(self.result),
+            True,
+        )
+
+    def digest(self) -> bytes:
+        return sha256(
+            "transaction",
+            self.proposal.digest(),
+            self.read_set.digest(),
+            self.write_set.digest(),
+            self.tx_id,
+        )
+
+
+@dataclass
+class Envelope:
+    """The opaque, signed unit submitted to the ordering service.
+
+    ``payload_size`` is the serialized size used for network/blocks
+    accounting -- the paper evaluates 40 B (a SHA-256 hash), 200 B
+    (three ECDSA endorsement signatures), 1 KB and 4 KB envelopes.
+    """
+
+    channel_id: str
+    transaction: Optional[Transaction]
+    payload_size: int
+    submitter: str = ""
+    signature: bytes = b""
+    is_config: bool = False
+    envelope_id: int = field(default_factory=lambda: next(_tx_counter))
+    create_time: Optional[float] = None
+
+    def digest(self) -> bytes:
+        content = (
+            self.transaction.digest() if self.transaction is not None else b"raw"
+        )
+        return sha256("envelope", self.channel_id, content, self.envelope_id)
+
+    @classmethod
+    def raw(cls, channel_id: str, payload_size: int, submitter: str = "") -> "Envelope":
+        """A synthetic envelope with no transaction inside -- what the
+        paper's micro-benchmarks submit (only the size matters to the
+        ordering service)."""
+        return cls(
+            channel_id=channel_id,
+            transaction=None,
+            payload_size=payload_size,
+            submitter=submitter,
+        )

@@ -1,0 +1,74 @@
+"""The append-only channel ledger (the blockchain itself)."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.fabric.block import GENESIS_PREVIOUS_HASH, Block
+
+
+class LedgerError(Exception):
+    """Raised when a block does not extend the chain correctly."""
+
+
+class Ledger:
+    """One channel's chain of blocks at one peer.
+
+    ``append`` enforces the chain invariants the paper's Figure 1
+    illustrates: block ``i`` must carry the hash of block ``i-1``'s
+    header, its number must be the next in sequence, and its data hash
+    must match the envelopes it carries.
+    """
+
+    def __init__(self, channel_id: str = "system"):
+        self.channel_id = channel_id
+        self._blocks: List[Block] = []
+
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def last_block(self) -> Optional[Block]:
+        return self._blocks[-1] if self._blocks else None
+
+    @property
+    def last_hash(self) -> bytes:
+        last = self.last_block
+        return last.header.digest() if last is not None else GENESIS_PREVIOUS_HASH
+
+    def append(self, block: Block) -> None:
+        if block.header.number != self.height:
+            raise LedgerError(
+                f"expected block {self.height}, got {block.header.number}"
+            )
+        if block.header.previous_hash != self.last_hash:
+            raise LedgerError(f"block {block.header.number} breaks the hash chain")
+        if not block.verify_data():
+            raise LedgerError(f"block {block.header.number} data hash mismatch")
+        self._blocks.append(block)
+
+    def get(self, number: int) -> Block:
+        return self._blocks[number]
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def verify_chain(self) -> bool:
+        """Re-verify every link and data hash from genesis."""
+        previous = GENESIS_PREVIOUS_HASH
+        for number, block in enumerate(self._blocks):
+            if block.header.number != number:
+                return False
+            if block.header.previous_hash != previous:
+                return False
+            if not block.verify_data():
+                return False
+            previous = block.header.digest()
+        return True
+
+    def total_transactions(self) -> int:
+        return sum(len(b.envelopes) for b in self._blocks)

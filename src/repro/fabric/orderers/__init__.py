@@ -1,0 +1,15 @@
+"""The stock HLF 1.0 ordering services (paper section 3).
+
+These are the baselines the paper's BFT service is contrasted with:
+
+- :mod:`repro.fabric.orderers.solo` -- the centralized, non-replicated
+  orderer used for testing the platform (a single point of failure);
+- :mod:`repro.fabric.orderers.kafka` -- the replicated, crash-fault-
+  tolerant orderer built on a Kafka-like primary/ISR replicated log
+  (no Byzantine tolerance).
+"""
+
+from repro.fabric.orderers.kafka import KafkaBroker, KafkaCluster, KafkaOrderer
+from repro.fabric.orderers.solo import SoloOrderer
+
+__all__ = ["KafkaBroker", "KafkaCluster", "KafkaOrderer", "SoloOrderer"]

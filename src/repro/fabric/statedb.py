@@ -1,0 +1,83 @@
+"""The peer state database: a versioned key/value store.
+
+HLF models world state as a versioned KV store (paper section 3): each
+key's value carries the version ``(block, tx)`` that last wrote it.
+Endorsement-time reads record these versions into the read set, and
+commit-time validation re-checks them (MVCC) -- a transaction whose
+read versions changed since simulation is marked invalid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.fabric.envelope import Version
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    value: object
+    version: Version
+
+
+class VersionedKVStore:
+    """World state for one channel at one peer."""
+
+    def __init__(self):
+        self._data: Dict[str, VersionedValue] = {}
+        self.height: Version = (0, 0)
+
+    def get(self, key: str) -> Optional[VersionedValue]:
+        return self._data.get(key)
+
+    def get_value(self, key: str) -> Optional[object]:
+        entry = self._data.get(key)
+        return entry.value if entry is not None else None
+
+    def version_of(self, key: str) -> Optional[Version]:
+        entry = self._data.get(key)
+        return entry.version if entry is not None else None
+
+    def apply_write(self, key: str, value: Optional[object], version: Version) -> None:
+        """Commit one write (None deletes the key)."""
+        if value is None:
+            self._data.pop(key, None)
+        else:
+            self._data[key] = VersionedValue(value=value, version=version)
+        if version > self.height:
+            self.height = version
+
+    def apply_write_set(
+        self, writes: Dict[str, Optional[object]], version: Version
+    ) -> None:
+        for key, value in writes.items():
+            self.apply_write(key, value, version)
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def range(self, start: str, end: str) -> List[Tuple[str, VersionedValue]]:
+        """Keys in [start, end) -- used by range-query chaincodes."""
+        return [(k, self._data[k]) for k in sorted(self._data) if start <= k < end]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    # ------------------------------------------------------------------
+    # snapshots (peer state transfer / tests)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Tuple[object, Version]]:
+        return {k: (v.value, v.version) for k, v in self._data.items()}
+
+    def restore(self, snapshot: Dict[str, Tuple[object, Version]]) -> None:
+        self._data = {
+            k: VersionedValue(value=value, version=tuple(version))
+            for k, (value, version) in snapshot.items()
+        }
+        self.height = max(
+            (entry.version for entry in self._data.values()), default=(0, 0)
+        )

@@ -1,0 +1,30 @@
+"""The BFT-SMaRt ordering service for Hyperledger Fabric.
+
+This package is the paper's primary contribution: ordering nodes built
+on BFT-SMaRt service replicas (:mod:`repro.ordering.node`), the block
+cutter (:mod:`repro.ordering.blockcutter`), the frontend/BFT shim that
+bridges HLF peers to the ordering cluster
+(:mod:`repro.ordering.frontend`), and deployment builders
+(:mod:`repro.ordering.service`).
+"""
+
+from repro.ordering.blockcutter import BlockCutter
+from repro.ordering.frontend import Frontend
+from repro.ordering.node import BFTOrderingNode, TimeToCut
+from repro.ordering.service import (
+    OrderingService,
+    OrderingServiceConfig,
+    build_ordering_service,
+    ordering_replier,
+)
+
+__all__ = [
+    "BFTOrderingNode",
+    "BlockCutter",
+    "Frontend",
+    "OrderingService",
+    "OrderingServiceConfig",
+    "TimeToCut",
+    "build_ordering_service",
+    "ordering_replier",
+]

@@ -1,0 +1,186 @@
+"""The frontend / BFT shim (paper sections 5 and 5.1).
+
+Frontends are part of the *peer* trust domain.  Each frontend:
+
+1. relays envelopes from HLF clients to the ordering cluster through a
+   BFT-SMaRt :class:`~repro.smart.proxy.ServiceProxy`, using
+   asynchronous invocations that never block on replies;
+2. collects the signed blocks the ordering nodes push back and waits
+   for ``2f+1`` matching copies (by header digest) before trusting a
+   block -- frontends do not verify signatures, but 2f+1 matching
+   copies guarantee at least ``f+1`` valid signatures for the peers
+   downstream.  With ``verify_signatures=True`` the frontend checks
+   signatures itself and ``f+1`` matching copies suffice (footnote 8);
+3. relays trusted blocks to the committing peers attached to it and
+   records per-envelope ordering latency (what Figures 8 and 9 plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.crypto.keys import KeyRegistry
+from repro.fabric.api import BlockDelivery, SubmitEnvelope
+from repro.fabric.block import Block
+from repro.fabric.envelope import Envelope
+from repro.sim.core import Simulator
+from repro.sim.monitor import StatsRegistry
+from repro.sim.network import Network
+from repro.smart.proxy import ServiceProxy
+
+
+@dataclass
+class _BlockCollector:
+    """Copies of one block number received from distinct nodes."""
+
+    copies: Dict[bytes, Dict[str, Block]]  # header digest -> sender -> copy
+    delivered: bool = False
+
+
+class Frontend:
+    """One ordering-service frontend."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        proxy: ServiceProxy,
+        f: int,
+        registry: Optional[KeyRegistry] = None,
+        orderer_names: Optional[Set[str]] = None,
+        verify_signatures: bool = False,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.proxy = proxy
+        self.f = f
+        self.registry = registry
+        self.orderer_names = orderer_names or set()
+        self.verify_signatures = verify_signatures
+        self.stats = stats or StatsRegistry()
+        self.peers: List[object] = []
+        self.on_block: List[Callable[[Block], None]] = []
+        self._collectors: Dict[Tuple[str, int], _BlockCollector] = {}
+        self._next_expected: Dict[str, int] = {}
+        #: blocks fully matched but waiting for their predecessors
+        self._ready: Dict[str, Dict[int, Block]] = {}
+        self.envelopes_submitted = 0
+        self.blocks_delivered = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def matching_copies_needed(self) -> int:
+        """2f+1 without signature verification, f+1 with (footnote 8)."""
+        if self.verify_signatures:
+            return self.f + 1
+        return 2 * self.f + 1
+
+    def attach_peer(self, peer_id: object) -> None:
+        if peer_id not in self.peers:
+            self.peers.append(peer_id)
+
+    # ------------------------------------------------------------------
+    # client side: relay envelopes into the ordering cluster
+    # ------------------------------------------------------------------
+    def submit(self, envelope: Envelope) -> None:
+        """Relay an envelope to the ordering cluster (fire-and-forget)."""
+        if envelope.create_time is None:
+            envelope.create_time = self.sim.now
+        self.envelopes_submitted += 1
+        self.proxy.invoke_async(envelope, size_bytes=envelope.payload_size)
+
+    # ------------------------------------------------------------------
+    # network delivery
+    # ------------------------------------------------------------------
+    def deliver(self, src, message) -> None:
+        if isinstance(message, SubmitEnvelope):
+            self.submit(message.envelope)
+        elif isinstance(message, BlockDelivery):
+            self._on_block_copy(message.source, message.block)
+        else:
+            # anything else (e.g. BFT-SMaRt replies when the deployment
+            # keeps them on) belongs to the embedded proxy
+            self.proxy.deliver(src, message)
+
+    def _on_block_copy(self, source: str, block: Block) -> None:
+        if self.orderer_names and source not in self.orderer_names:
+            return
+        if self.verify_signatures and not self._signature_ok(source, block):
+            return
+        channel = block.channel_id
+        number = block.header.number
+        expected = self._next_expected.get(channel, 0)
+        if number < expected:
+            return  # already delivered
+        key = (channel, number)
+        collector = self._collectors.get(key)
+        if collector is None:
+            collector = _BlockCollector(copies={})
+            self._collectors[key] = collector
+        digest = block.header.digest()
+        collector.copies.setdefault(digest, {})[source] = block
+        if collector.delivered:
+            return
+        copies = collector.copies[digest]
+        if len(copies) >= self.matching_copies_needed:
+            collector.delivered = True
+            self._stage_block(channel, number, copies)
+
+    def _signature_ok(self, source: str, block: Block) -> bool:
+        if self.registry is None or source not in self.registry:
+            return False
+        signature = block.signatures.get(source)
+        if signature is None:
+            return False
+        verifier = self.registry.verifier_of(source)
+        return verifier.verify(block.header.signing_payload(), signature)
+
+    def _stage_block(
+        self, channel: str, number: int, copies: Dict[str, Block]
+    ) -> None:
+        """A block gathered enough matching copies: merge signatures
+        (so peers get at least f+1 valid ones) and deliver it as soon
+        as every predecessor has been delivered."""
+        merged: Optional[Block] = None
+        for copy in copies.values():
+            if merged is None:
+                merged = Block(
+                    header=copy.header,
+                    envelopes=copy.envelopes,
+                    signatures=dict(copy.signatures),
+                    channel_id=copy.channel_id,
+                )
+            else:
+                merged.signatures.update(copy.signatures)
+        assert merged is not None
+        self._collectors.pop((channel, number), None)
+        self._ready.setdefault(channel, {})[number] = merged
+        ready = self._ready[channel]
+        while self._next_expected.get(channel, 0) in ready:
+            next_number = self._next_expected.get(channel, 0)
+            block = ready.pop(next_number)
+            self._next_expected[channel] = next_number + 1
+            self._deliver_block(block)
+
+    def _deliver_block(self, block: Block) -> None:
+        self.blocks_delivered += 1
+        self._record_stats(block)
+        delivery = BlockDelivery(block=block, source=self.name)
+        self.network.broadcast(self.name, self.peers, delivery, delivery.wire_size())
+        for callback in self.on_block:
+            callback(block)
+
+    def _record_stats(self, block: Block) -> None:
+        now = self.sim.now
+        self.stats.meter(f"{self.name}.blocks").record(now, 1.0)
+        self.stats.meter(f"{self.name}.envelopes").record(
+            now, float(len(block.envelopes))
+        )
+        latency = self.stats.latency(f"{self.name}.latency")
+        for envelope in block.envelopes:
+            if envelope.create_time is not None:
+                latency.record(now - envelope.create_time)

@@ -1,0 +1,356 @@
+"""Deployment builder: assemble a complete BFT ordering service.
+
+Wires together everything from Figure 4: a cluster of ``3f+1+delta``
+ordering nodes (BFT-SMaRt replica + :class:`BFTOrderingNode` app +
+per-machine CPU with a signing thread pool) and a set of frontends,
+over a simulated LAN or WAN.  Used by integration tests, the examples
+and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.crypto.keys import Identity, KeyRegistry
+from repro.crypto.signatures import SimulatedECDSA
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.envelope import Envelope
+from repro.ordering.frontend import Frontend
+from repro.ordering.node import BFTOrderingNode, TimeToCut
+from repro.sim.core import Simulator
+from repro.sim.cpu import CPU
+from repro.sim.monitor import StatsRegistry
+from repro.sim.network import ConstantLatency, LatencyModel, Network
+from repro.sim.randomness import RandomStreams
+from repro.smart.messages import ClientRequest
+from repro.smart.proxy import ServiceProxy
+from repro.smart.replica import ReplicaConfig, ServiceReplica, default_replier
+from repro.smart.view import View, binary_weights
+
+#: network-id base for frontends (BFT-SMaRt client ids)
+FRONTEND_ID_BASE = 1000
+#: network-id base for the nodes' internal TTC proxies
+TTC_ID_BASE = 2000
+#: network-id base for admin (reconfiguration) clients
+ADMIN_ID_BASE = 3000
+
+
+@dataclass
+class OrderingServiceConfig:
+    """Everything needed to stand up one deployment."""
+
+    f: int = 1
+    delta: int = 0
+    vmax_holders: Optional[Sequence[int]] = None
+    tentative_execution: bool = False
+    channel: ChannelConfig = field(
+        default_factory=lambda: ChannelConfig(channel_id="channel0")
+    )
+    #: additional channels beyond ``channel`` (the ordering service
+    #: "gathers envelopes from all channels in the network", §3)
+    extra_channels: Sequence[ChannelConfig] = ()
+    num_frontends: int = 1
+    #: site name per node (len == n); None = all "lan"
+    node_sites: Optional[Sequence[str]] = None
+    #: site name per frontend; None = all "lan"
+    frontend_sites: Optional[Sequence[str]] = None
+    latency: Optional[LatencyModel] = None
+    bandwidth_bps: float = 1e9
+    #: per-node CPU model; None disables CPU cost accounting entirely
+    physical_cores: Optional[int] = 8
+    hardware_threads: int = 16
+    signing_workers: int = 16
+    sign_cost: Optional[float] = None
+    #: fraction of each node's CPU consumed by BFT-SMaRt itself (§6.2)
+    smart_cpu_fraction: float = 0.0
+    max_batch: int = 400
+    request_timeout: float = 2.0
+    checkpoint_period: int = 1000
+    enable_batch_timeout: bool = False
+    verify_block_signatures: bool = False
+    double_sign: bool = False
+    seed: int = 0
+
+    @property
+    def n(self) -> int:
+        return 3 * self.f + 1 + self.delta
+
+
+def ordering_replier(replica, request: ClientRequest, result, regency, tentative):
+    """The custom replier of §5.1: execution results for envelopes are
+    *not* sent back to the invoking client (blocks flow to frontends
+    instead); only control operations (reconfigurations, unknown ops)
+    get normal replies."""
+    if isinstance(request.operation, (Envelope, TimeToCut)):
+        return
+    default_replier(replica, request, result, regency, tentative)
+
+
+@dataclass
+class OrderingService:
+    """A fully wired deployment."""
+
+    sim: Simulator
+    network: Network
+    config: OrderingServiceConfig
+    registry: KeyRegistry
+    view: View
+    replicas: List[ServiceReplica]
+    nodes: List[BFTOrderingNode]
+    frontends: List[Frontend]
+    stats: StatsRegistry
+    cpus: List[Optional[CPU]]
+
+    @property
+    def leader_node(self) -> BFTOrderingNode:
+        """Ordering node 0 -- where the paper measures throughput."""
+        return self.nodes[0]
+
+    def submit(self, envelope: Envelope, frontend_index: int = 0) -> None:
+        self.frontends[frontend_index].submit(envelope)
+
+    def admin_proxy(self, admin_index: int = 0, site: Optional[str] = None) -> ServiceProxy:
+        """A proxy for administrative (reconfiguration) commands."""
+        proxy = ServiceProxy(
+            self.sim,
+            self.network,
+            ADMIN_ID_BASE + admin_index,
+            self.view,
+            invoke_timeout=self.config.request_timeout * 2,
+            register=False,
+        )
+        admin_site = site or (self.config.node_sites or ["lan"])[0]
+        self.network.register(ADMIN_ID_BASE + admin_index, proxy, site=admin_site)
+        return proxy
+
+    def crash_node(self, index: int) -> None:
+        self.replicas[index].crash()
+
+    def recover_node(self, index: int) -> None:
+        self.replicas[index].recover()
+
+    def run(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    # ------------------------------------------------------------------
+    # runtime reconfiguration (paper §5.2)
+    # ------------------------------------------------------------------
+    def add_node(self, site: str = "lan"):
+        """Add a new ordering node to the running cluster.
+
+        Builds the machine (CPU, identity, app, replica), wires it to
+        the network and frontends, orders the membership change through
+        consensus, and -- once decided -- brings the node up to date by
+        state transfer and points every frontend proxy at the new view.
+
+        Returns ``(future, node)``; drive the simulator until the
+        future resolves (e.g. ``service.sim.drain([future], ...)``).
+        """
+        from repro.smart.reconfiguration import ReconfigurationClient
+
+        index = len(self.replicas)
+        cpu: Optional[CPU] = None
+        if self.config.physical_cores is not None:
+            cpu = CPU(
+                self.sim,
+                physical_cores=self.config.physical_cores,
+                hardware_threads=self.config.hardware_threads,
+            )
+            if self.config.smart_cpu_fraction > 0:
+                cpu.set_background_load(self.config.smart_cpu_fraction)
+        self.cpus.append(cpu)
+        identity = self.registry.enroll(f"orderer{index}", org=f"ordererorg{index}")
+        channels = {
+            self.config.channel.channel_id: self.config.channel,
+            **{c.channel_id: c for c in self.config.extra_channels},
+        }
+        node = BFTOrderingNode(
+            sim=self.sim,
+            network=self.network,
+            name=identity.name,
+            identity=identity,
+            channels=channels,
+            cpu=cpu,
+            signing_workers=self.config.signing_workers,
+            sign_cost=self.config.sign_cost,
+            stats=self.stats,
+            double_sign=self.config.double_sign,
+            net_id=index,
+        )
+        current_view = self.replicas[0].view
+        replica = ServiceReplica(
+            sim=self.sim,
+            network=self.network,
+            replica_id=index,
+            view=current_view,
+            app=node,
+            config=self.replicas[0].config,
+            replier=ordering_replier,
+        )
+        self.network.register(index, replica, site=site)
+        for frontend in self.frontends:
+            node.register_frontend(frontend.name)
+        self.nodes.append(node)
+        self.replicas.append(replica)
+
+        admin = self.admin_proxy(admin_index=index, site=site)
+        future = ReconfigurationClient(admin).add_replica(index)
+
+        def _activate(fut):
+            try:
+                fut.value
+            except Exception:
+                return
+            new_view = self.replicas[0].view
+            replica.view = new_view
+            replica.state_transfer.start()
+            for frontend in self.frontends:
+                frontend.proxy.update_view(new_view)
+                frontend.f = new_view.f
+
+        future.add_callback(_activate)
+        return future, node
+
+
+def build_ordering_service(
+    config: Optional[OrderingServiceConfig] = None,
+    sim: Optional[Simulator] = None,
+) -> OrderingService:
+    """Stand up a complete ordering service on a fresh simulator."""
+    config = config or OrderingServiceConfig()
+    sim = sim or Simulator()
+    streams = RandomStreams(config.seed)
+    latency = config.latency or ConstantLatency(0.0001)
+    network = Network(
+        sim, latency, default_bandwidth_bps=config.bandwidth_bps, streams=streams
+    )
+    stats = StatsRegistry()
+    scheme = SimulatedECDSA()
+    if config.sign_cost is not None:
+        scheme.sign_cost = config.sign_cost
+    registry = KeyRegistry(scheme=scheme, rng=streams.stream("keys"))
+
+    n = config.n
+    processes = tuple(range(n))
+    weights = binary_weights(processes, config.f, config.delta, config.vmax_holders)
+    view = View(
+        view_id=0, processes=processes, f=config.f, delta=config.delta, weights=weights
+    )
+    node_sites = list(config.node_sites or ["lan"] * n)
+    frontend_sites = list(config.frontend_sites or ["lan"] * config.num_frontends)
+    if len(node_sites) != n:
+        raise ValueError(f"need {n} node sites, got {len(node_sites)}")
+    if len(frontend_sites) != config.num_frontends:
+        raise ValueError(
+            f"need {config.num_frontends} frontend sites, got {len(frontend_sites)}"
+        )
+
+    replica_config = ReplicaConfig(
+        max_batch=config.max_batch,
+        request_timeout=config.request_timeout,
+        checkpoint_period=config.checkpoint_period,
+        tentative_execution=config.tentative_execution,
+    )
+
+    # ordering nodes: CPU + identity + app + replica, one per machine
+    nodes: List[BFTOrderingNode] = []
+    replicas: List[ServiceReplica] = []
+    cpus: List[Optional[CPU]] = []
+    channels = {config.channel.channel_id: config.channel}
+    for extra in config.extra_channels:
+        if extra.channel_id in channels:
+            raise ValueError(f"duplicate channel id {extra.channel_id!r}")
+        channels[extra.channel_id] = extra
+    for i in range(n):
+        cpu: Optional[CPU] = None
+        if config.physical_cores is not None:
+            cpu = CPU(
+                sim,
+                physical_cores=config.physical_cores,
+                hardware_threads=config.hardware_threads,
+            )
+            if config.smart_cpu_fraction > 0:
+                cpu.set_background_load(config.smart_cpu_fraction)
+        cpus.append(cpu)
+        identity = registry.enroll(f"orderer{i}", org=f"ordererorg{i}")
+        node = BFTOrderingNode(
+            sim=sim,
+            network=network,
+            name=identity.name,
+            identity=identity,
+            channels=channels,
+            cpu=cpu,
+            signing_workers=config.signing_workers,
+            sign_cost=config.sign_cost,
+            stats=stats,
+            double_sign=config.double_sign,
+            net_id=i,
+        )
+        replica = ServiceReplica(
+            sim=sim,
+            network=network,
+            replica_id=i,
+            view=view,
+            app=node,
+            config=replica_config,
+            replier=ordering_replier,
+        )
+        network.register(i, replica, site=node_sites[i])
+        nodes.append(node)
+        replicas.append(replica)
+
+    # deterministic batch timeouts: each node submits TTCs through a
+    # lightweight internal proxy (only when enabled)
+    if config.enable_batch_timeout:
+        for i, node in enumerate(nodes):
+            ttc_proxy = ServiceProxy(
+                sim, network, TTC_ID_BASE + i, view, register=False
+            )
+            # the TTC proxy lives on the node's machine
+            network.register(TTC_ID_BASE + i, ttc_proxy, site=node_sites[i])
+            node.ttc_submitter = (
+                lambda ttc, proxy=ttc_proxy: proxy.invoke_async(ttc, size_bytes=24)
+            )
+
+    # frontends
+    frontends: List[Frontend] = []
+    orderer_names = {node.name for node in nodes}
+    for j in range(config.num_frontends):
+        client_id = FRONTEND_ID_BASE + j
+        proxy = ServiceProxy(
+            sim,
+            network,
+            client_id,
+            view,
+            accept_tentative=config.tentative_execution,
+            register=False,
+        )
+        frontend = Frontend(
+            sim=sim,
+            network=network,
+            name=client_id,
+            proxy=proxy,
+            f=config.f,
+            registry=registry,
+            orderer_names=orderer_names,
+            verify_signatures=config.verify_block_signatures,
+            stats=stats,
+        )
+        network.register(client_id, frontend, site=frontend_sites[j])
+        for node in nodes:
+            node.register_frontend(client_id)
+        frontends.append(frontend)
+
+    return OrderingService(
+        sim=sim,
+        network=network,
+        config=config,
+        registry=registry,
+        view=view,
+        replicas=replicas,
+        nodes=nodes,
+        frontends=frontends,
+        stats=stats,
+        cpus=cpus,
+    )

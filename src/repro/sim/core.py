@@ -1,0 +1,282 @@
+"""Discrete-event simulation kernel.
+
+A :class:`Simulator` owns a virtual clock and a priority queue of
+scheduled callbacks.  Protocol components are written in an
+event-driven style (``schedule`` + message handlers); sequential logic
+such as load generators can instead be written as generator-based
+:class:`Process` coroutines that ``yield`` delays or :class:`Future`
+objects.
+
+The kernel is fully deterministic: ties in time are broken by a
+monotonically increasing sequence number, and all randomness must come
+from :class:`repro.sim.randomness.RandomStreams`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Future:
+    """A one-shot value that :class:`Process` coroutines can wait on."""
+
+    __slots__ = ("sim", "_value", "_done", "_failed", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._done = False
+        self._failed: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("future not resolved yet")
+        if self._failed is not None:
+            raise self._failed
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future; wakes every waiter at the current time."""
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._value = value
+        self._fire()
+
+    def fail(self, exc: BaseException) -> None:
+        """Complete the future with an exception raised into waiters."""
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._failed = exc
+        self._fire()
+
+    def add_callback(self, fn: Callable[["Future"], None]) -> None:
+        if self._done:
+            self.sim.schedule(0.0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim.schedule(0.0, fn, self)
+
+
+class Process:
+    """A generator-based coroutine driven by the simulator.
+
+    The generator may ``yield``:
+
+    - a ``float``/``int`` -- sleep for that many simulated seconds;
+    - a :class:`Future` -- resume (with its value) when it resolves;
+    - ``None`` -- yield control and resume immediately.
+
+    The process itself exposes a :attr:`result` future resolved with
+    the generator's return value.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "process"):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.result = Future(sim)
+        sim.schedule(0.0, self._step, None)
+
+    def _step(self, send_value: Any) -> None:
+        if self.result.done:
+            return
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.result.resolve(stop.value)
+            return
+        if yielded is None:
+            self.sim.schedule(0.0, self._step, None)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(f"process {self.name} slept for {yielded!r} < 0")
+            self.sim.schedule(float(yielded), self._step, None)
+        elif isinstance(yielded, Future):
+            yielded.add_callback(lambda fut: self._step_future(fut))
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported value {yielded!r}"
+            )
+
+    def _step_future(self, fut: Future) -> None:
+        if self.result.done:
+            return
+        try:
+            value = fut.value
+        except BaseException as exc:  # propagate failure into the generator
+            try:
+                self.gen.throw(exc)
+            except StopIteration as stop:
+                self.result.resolve(stop.value)
+            return
+        self._step(value)
+
+    def interrupt(self) -> None:
+        """Stop the process; its result future resolves to ``None``."""
+        if not self.result.done:
+            self.gen.close()
+            self.result.resolve(None)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        handle = EventHandle(self.now + delay, next(self._seq), fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(max(0.0, time - self.now), fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at the current time, after pending events."""
+        return self.schedule(0.0, fn, *args)
+
+    def spawn(self, gen: Generator, name: str = "process") -> Process:
+        """Start a generator-based :class:`Process`."""
+        return Process(self, gen, name=name)
+
+    def future(self) -> Future:
+        return Future(self)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def step(self) -> bool:
+        """Process the next event; returns ``False`` when idle."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            fn, args = handle.fn, handle.args
+            handle.cancel()  # release references
+            self._processed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the queue is empty, ``until`` is reached,
+        or ``max_events`` events have run.
+
+        When ``until`` is given the clock always advances to exactly
+        ``until`` even if the queue drains earlier.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until(self, predicate: Callable[[], bool], deadline: float) -> bool:
+        """Run until ``predicate()`` is true or ``deadline`` passes.
+
+        Returns ``True`` if the predicate became true.  The predicate is
+        evaluated after every processed event.
+        """
+        if predicate():
+            return True
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+            if predicate():
+                return True
+        if self.now < deadline:
+            self.now = deadline
+        return predicate()
+
+    def drain(self, futures: Iterable[Future], deadline: float) -> bool:
+        """Run until every future in ``futures`` resolves (or deadline)."""
+        futures = list(futures)
+        return self.run_until(lambda: all(f.done for f in futures), deadline)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self.now:.6f} pending={self.pending_events}>"

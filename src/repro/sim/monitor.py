@@ -1,0 +1,173 @@
+"""Measurement instruments for simulated experiments.
+
+These mirror what the paper measures: throughput at the leader ordering
+node (transactions and blocks per second) and client-observed latency
+percentiles at each frontend.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class LatencyRecorder:
+    """Collects individual latency samples; reports percentiles.
+
+    Samples are kept sorted on insertion so percentile queries are
+    cheap and repeated queries do not re-sort.
+    """
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._sorted: List[float] = []
+        self._sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        insort(self._sorted, seconds)
+        self._sum += seconds
+
+    def reset(self) -> None:
+        """Discard all samples (used to trim experiment warm-up)."""
+        self._sorted = []
+        self._sum = 0.0
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.record(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._sorted) if self._sorted else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self._sorted:
+            return math.nan
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if len(self._sorted) == 1:
+            return self._sorted[0]
+        rank = (p / 100.0) * (len(self._sorted) - 1)
+        low = int(rank)
+        high = min(low + 1, len(self._sorted) - 1)
+        frac = rank - low
+        return self._sorted[low] * (1.0 - frac) + self._sorted[high] * frac
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90.0)
+
+    @property
+    def minimum(self) -> float:
+        return self._sorted[0] if self._sorted else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._sorted[-1] if self._sorted else math.nan
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class ThroughputMeter:
+    """Counts weighted events over time and reports rates.
+
+    ``record(t, n)`` registers ``n`` events at simulated time ``t``.
+    ``rate(start, end)`` gives events/second over a window, allowing
+    warm-up trimming exactly like the paper's 5-minute runs.
+    """
+
+    def __init__(self, name: str = "throughput"):
+        self.name = name
+        self._times: List[float] = []
+        self._weights: List[float] = []
+        self.total = 0.0
+
+    def record(self, time: float, count: float = 1.0) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError("throughput samples must be recorded in time order")
+        self._times.append(time)
+        self._weights.append(count)
+        self.total += count
+
+    def rate(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Events per second within ``[start, end]``."""
+        if not self._times:
+            return 0.0
+        start = self._times[0] if start is None else start
+        end = self._times[-1] if end is None else end
+        if end <= start:
+            return 0.0
+        window = sum(
+            weight
+            for time, weight in zip(self._times, self._weights)
+            if start <= time <= end
+        )
+        return window / (end - start)
+
+    @property
+    def first_time(self) -> Optional[float]:
+        return self._times[0] if self._times else None
+
+    @property
+    def last_time(self) -> Optional[float]:
+        return self._times[-1] if self._times else None
+
+
+class StatsRegistry:
+    """A named bag of instruments shared by an experiment's components."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._latencies: Dict[str, LatencyRecorder] = {}
+        self._meters: Dict[str, ThroughputMeter] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def latency(self, name: str) -> LatencyRecorder:
+        return self._latencies.setdefault(name, LatencyRecorder(name))
+
+    def meter(self, name: str) -> ThroughputMeter:
+        return self._meters.setdefault(name, ThroughputMeter(name))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        report: Dict[str, Dict[str, float]] = {}
+        for name, counter in sorted(self._counters.items()):
+            report[name] = {"count": float(counter.value)}
+        for name, recorder in sorted(self._latencies.items()):
+            report[name] = recorder.summary()
+        for name, meter in sorted(self._meters.items()):
+            report[name] = {"total": meter.total, "rate": meter.rate()}
+        return report

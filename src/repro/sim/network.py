@@ -1,0 +1,318 @@
+"""Simulated message-passing network.
+
+Models the two transports of the paper: a Gigabit-Ethernet LAN (Dell
+R410 cluster) and wide-area links between Amazon EC2 regions.  The
+model captures the characteristics the evaluation depends on:
+
+- **propagation latency** per (site, site) pair with optional jitter;
+- **NIC bandwidth** -- each node has an egress NIC that serializes its
+  transmissions, so broadcasting a block to 32 receivers takes 32
+  back-to-back transmissions (this is what makes throughput fall with
+  the number of receivers in Figure 7);
+- **fault injection** -- crashed nodes, blocked links, partitions,
+  probabilistic loss, and message interceptors used by Byzantine tests.
+
+Messages are Python objects; only their declared byte size touches the
+network model (payloads are never actually serialized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Protocol, Tuple
+
+from repro.sim.core import Simulator
+from repro.sim.randomness import RandomStreams
+
+NodeId = Hashable
+
+#: Fixed per-message overhead (Ethernet + IP + TCP headers), bytes.
+MESSAGE_OVERHEAD_BYTES = 66
+
+#: Delay for a loopback (self) delivery, seconds.
+LOOPBACK_DELAY = 5e-6
+
+
+class Endpoint(Protocol):
+    """Anything that can receive messages from the network."""
+
+    def deliver(self, src: NodeId, payload: Any) -> None: ...
+
+
+class LatencyModel:
+    """Base class: propagation delay between two *sites*."""
+
+    def delay(self, src_site: str, dst_site: str, rng) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Uniform one-way delay, optionally jittered (LAN model)."""
+
+    def __init__(self, base: float, jitter_fraction: float = 0.0):
+        self.base = base
+        self.jitter_fraction = jitter_fraction
+
+    def delay(self, src_site: str, dst_site: str, rng) -> float:
+        if self.jitter_fraction <= 0.0:
+            return self.base
+        return self.base * (1.0 + self.jitter_fraction * rng.random())
+
+
+class MatrixLatency(LatencyModel):
+    """One-way delays from a symmetric per-site matrix (WAN model).
+
+    ``matrix`` maps ``(site_a, site_b)`` to one-way delay in seconds;
+    missing symmetric entries are filled in automatically and the
+    diagonal defaults to ``local_delay``.
+    """
+
+    def __init__(
+        self,
+        matrix: Dict[Tuple[str, str], float],
+        jitter_fraction: float = 0.0,
+        local_delay: float = 0.0001,
+    ):
+        self.matrix: Dict[Tuple[str, str], float] = {}
+        for (a, b), value in matrix.items():
+            self.matrix[(a, b)] = value
+            self.matrix.setdefault((b, a), value)
+        self.jitter_fraction = jitter_fraction
+        self.local_delay = local_delay
+
+    def delay(self, src_site: str, dst_site: str, rng) -> float:
+        if src_site == dst_site:
+            base = self.matrix.get((src_site, dst_site), self.local_delay)
+        else:
+            try:
+                base = self.matrix[(src_site, dst_site)]
+            except KeyError:
+                raise KeyError(f"no latency entry for {src_site!r} -> {dst_site!r}")
+        if self.jitter_fraction <= 0.0:
+            return base
+        return base * (1.0 + self.jitter_fraction * rng.random())
+
+
+class NIC:
+    """Egress network interface: transmissions serialize at ``bandwidth``."""
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self._next_free = 0.0
+        self.bytes_sent = 0
+        self.busy_seconds = 0.0
+
+    def transmit(self, size_bytes: int) -> float:
+        """Queue a transmission; returns the absolute completion time."""
+        start = max(self.sim.now, self._next_free)
+        duration = size_bytes * 8.0 / self.bandwidth_bps
+        self._next_free = start + duration
+        self.bytes_sent += size_bytes
+        self.busy_seconds += duration
+        return self._next_free
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds a new transmission would wait before starting."""
+        return max(0.0, self._next_free - self.sim.now)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.busy_seconds / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass
+class _Node:
+    endpoint: Endpoint
+    site: str
+    nic: NIC
+    crashed: bool = False
+
+
+@dataclass
+class NetworkStats:
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_by_link: Dict[Tuple[NodeId, NodeId], int] = field(default_factory=dict)
+
+
+#: A filter takes (src, dst, payload) and returns the payload to
+#: deliver (possibly mutated/substituted) or None to drop the message.
+MessageFilter = Callable[[NodeId, NodeId, Any], Optional[Any]]
+
+
+class Network:
+    """The message fabric connecting every simulated component."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        default_bandwidth_bps: float = 1e9,
+        streams: Optional[RandomStreams] = None,
+        overhead_bytes: int = MESSAGE_OVERHEAD_BYTES,
+    ):
+        self.sim = sim
+        self.latency = latency
+        self.default_bandwidth_bps = default_bandwidth_bps
+        self.streams = streams or RandomStreams(0)
+        self.overhead_bytes = overhead_bytes
+        self.stats = NetworkStats()
+        self._nodes: Dict[NodeId, _Node] = {}
+        self._blocked: set[Tuple[NodeId, NodeId]] = set()
+        self._drop_rates: Dict[Tuple[NodeId, NodeId], float] = {}
+        self._filters: list[MessageFilter] = []
+        self._rng = self.streams.stream("network")
+        #: per-link FIFO enforcement (TCP in-order delivery): latest
+        #: scheduled arrival per (src, dst)
+        self._last_arrival: Dict[Tuple[NodeId, NodeId], float] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        node_id: NodeId,
+        endpoint: Endpoint,
+        site: str = "lan",
+        bandwidth_bps: Optional[float] = None,
+    ) -> None:
+        """Attach ``endpoint`` to the network as ``node_id`` at ``site``."""
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already registered")
+        nic = NIC(self.sim, bandwidth_bps or self.default_bandwidth_bps)
+        self._nodes[node_id] = _Node(endpoint=endpoint, site=site, nic=nic)
+
+    def unregister(self, node_id: NodeId) -> None:
+        self._nodes.pop(node_id, None)
+
+    def node_ids(self) -> Iterable[NodeId]:
+        return self._nodes.keys()
+
+    def site_of(self, node_id: NodeId) -> str:
+        return self._nodes[node_id].site
+
+    def nic_of(self, node_id: NodeId) -> NIC:
+        return self._nodes[node_id].nic
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash(self, node_id: NodeId) -> None:
+        """Silence a node: it neither sends nor receives from now on."""
+        self._nodes[node_id].crashed = True
+
+    def recover(self, node_id: NodeId) -> None:
+        self._nodes[node_id].crashed = False
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        node = self._nodes.get(node_id)
+        return node is None or node.crashed
+
+    def block(self, a: NodeId, b: NodeId, bidirectional: bool = True) -> None:
+        """Drop every message on the (a -> b) link."""
+        self._blocked.add((a, b))
+        if bidirectional:
+            self._blocked.add((b, a))
+
+    def unblock(self, a: NodeId, b: NodeId, bidirectional: bool = True) -> None:
+        self._blocked.discard((a, b))
+        if bidirectional:
+            self._blocked.discard((b, a))
+
+    def partition(self, *groups: Iterable[NodeId]) -> None:
+        """Block all links between members of different groups."""
+        groups = [list(group) for group in groups]
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1 :]:
+                for a in group_a:
+                    for b in group_b:
+                        self.block(a, b)
+
+    def heal(self) -> None:
+        """Remove every blocked link and drop rule."""
+        self._blocked.clear()
+        self._drop_rates.clear()
+
+    def set_drop_rate(self, a: NodeId, b: NodeId, rate: float) -> None:
+        """Drop messages on (a -> b) independently with probability ``rate``."""
+        self._drop_rates[(a, b)] = rate
+
+    def add_filter(self, fn: MessageFilter) -> None:
+        """Install an interceptor (used to model Byzantine links/tests)."""
+        self._filters.append(fn)
+
+    def remove_filter(self, fn: MessageFilter) -> None:
+        self._filters.remove(fn)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, payload: Any, size_bytes: int = 0) -> None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Delivery time = egress queueing at ``src``'s NIC + transmission
+        + propagation latency.  Self-sends bypass the NIC.
+        """
+        self.stats.messages_sent += 1
+        src_node = self._nodes.get(src)
+        dst_node = self._nodes.get(dst)
+        if src_node is None or src_node.crashed:
+            self.stats.messages_dropped += 1
+            return
+        if dst_node is None or dst_node.crashed:
+            self.stats.messages_dropped += 1
+            return
+        if (src, dst) in self._blocked:
+            self.stats.messages_dropped += 1
+            return
+        drop_rate = self._drop_rates.get((src, dst), 0.0)
+        if drop_rate > 0.0 and self._rng.random() < drop_rate:
+            self.stats.messages_dropped += 1
+            return
+        for fn in self._filters:
+            payload = fn(src, dst, payload)
+            if payload is None:
+                self.stats.messages_dropped += 1
+                return
+
+        wire_bytes = size_bytes + self.overhead_bytes
+        self.stats.bytes_sent += wire_bytes
+        link = (src, dst)
+        self.stats.bytes_by_link[link] = self.stats.bytes_by_link.get(link, 0) + wire_bytes
+
+        if src == dst:
+            arrival = self.sim.now + LOOPBACK_DELAY
+        else:
+            done = src_node.nic.transmit(wire_bytes)
+            prop = self.latency.delay(src_node.site, dst_node.site, self._rng)
+            arrival = done + prop
+        # connections deliver in order (TCP): jitter may not reorder
+        # messages on the same link
+        arrival = max(arrival, self._last_arrival.get(link, 0.0))
+        self._last_arrival[link] = arrival
+        self.sim.schedule_at(arrival, self._deliver, src, dst, payload)
+
+    def broadcast(
+        self, src: NodeId, dsts: Iterable[NodeId], payload: Any, size_bytes: int = 0
+    ) -> None:
+        """Send one copy of ``payload`` to each destination in order.
+
+        Copies serialize on the sender's NIC, so fan-out cost is linear
+        in the number of receivers -- exactly the effect measured in
+        Figure 7.
+        """
+        for dst in dsts:
+            self.send(src, dst, payload, size_bytes)
+
+    def _deliver(self, src: NodeId, dst: NodeId, payload: Any) -> None:
+        node = self._nodes.get(dst)
+        if node is None or node.crashed:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        node.endpoint.deliver(src, payload)

@@ -1,0 +1,141 @@
+"""Protocol tracing: capture and render message timelines.
+
+Debugging distributed protocols needs visibility; this module hooks
+the network's filter chain and records every message (or a selected
+subset) with timestamps, then renders summaries, timelines and ASCII
+sequence diagrams.  Used by tests to assert on protocol behaviour and
+by humans to see what a scenario actually did:
+
+    tracer = MessageTracer(network, kinds={"Propose", "Write", "Accept"})
+    ... run the scenario ...
+    print(tracer.sequence_diagram(participants=[0, 1, 2, 3]))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One captured message send."""
+
+    time: float
+    kind: str
+    src: Any
+    dst: Any
+    detail: str
+
+
+def _describe(payload: Any) -> str:
+    for attribute in ("cid", "next_regency", "sequence", "offset"):
+        value = getattr(payload, attribute, None)
+        if value is not None:
+            return f"{attribute}={value}"
+    return ""
+
+
+class MessageTracer:
+    """Records messages crossing a :class:`repro.sim.network.Network`."""
+
+    def __init__(
+        self,
+        network,
+        kinds: Optional[Set[str]] = None,
+        capacity: int = 100_000,
+    ):
+        self.network = network
+        self.kinds = kinds
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        network.add_filter(self._capture)
+
+    def detach(self) -> None:
+        self.network.remove_filter(self._capture)
+
+    def _capture(self, src, dst, payload):
+        kind = type(payload).__name__
+        if self.kinds is None or kind in self.kinds:
+            if len(self.events) < self.capacity:
+                self.events.append(
+                    TraceEvent(
+                        time=self.network.sim.now,
+                        kind=kind,
+                        src=src,
+                        dst=dst,
+                        detail=_describe(payload),
+                    )
+                )
+            else:
+                self.dropped += 1
+        return payload
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        return [event for event in self.events if start <= event.time <= end]
+
+    def involving(self, participant) -> List[TraceEvent]:
+        return [
+            event
+            for event in self.events
+            if event.src == participant or event.dst == participant
+        ]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def timeline(self, limit: int = 50) -> str:
+        """A flat, time-ordered log of the first ``limit`` events."""
+        lines = [
+            f"{event.time * 1000:10.3f}ms  {event.kind:<14} "
+            f"{str(event.src):>10} -> {str(event.dst):<10} {event.detail}"
+            for event in self.events[:limit]
+        ]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+    def sequence_diagram(
+        self, participants: Sequence[Any], limit: int = 40
+    ) -> str:
+        """An ASCII sequence diagram restricted to ``participants``."""
+        columns = {p: i for i, p in enumerate(participants)}
+        width = 16
+        header = "".join(str(p).center(width) for p in participants)
+        lines = [header]
+        shown = 0
+        for event in self.events:
+            if event.src not in columns or event.dst not in columns:
+                continue
+            if shown >= limit:
+                lines.append("...")
+                break
+            src_col, dst_col = columns[event.src], columns[event.dst]
+            if src_col == dst_col:
+                continue
+            left, right = sorted((src_col, dst_col))
+            span = (right - left) * width - 2
+            arrow_body = "-" * (span - 1)
+            arrow = (
+                f"{arrow_body}>" if dst_col > src_col else f"<{arrow_body}"
+            )
+            label = f"{event.kind}{(' ' + event.detail) if event.detail else ''}"
+            pad = " " * (left * width + width // 2)
+            lines.append(f"{pad}|{arrow}|  {label} @{event.time * 1000:.2f}ms")
+            shown += 1
+        return "\n".join(lines)

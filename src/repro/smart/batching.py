@@ -1,0 +1,82 @@
+"""Request batching at the leader.
+
+BFT-SMaRt amortizes consensus over batches: the leader drains its
+pending-request queue into a batch of at most ``max_batch`` requests
+(the paper's deployments use 400) and at most ``max_batch_bytes``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.smart.messages import ClientRequest, RequestId
+
+#: BFT-SMaRt's default batch limit used throughout the paper.
+DEFAULT_MAX_BATCH = 400
+
+DEFAULT_MAX_BATCH_BYTES = 10 * 1024 * 1024
+
+
+class PendingQueue:
+    """FIFO of requests awaiting ordering, deduplicated by request id."""
+
+    def __init__(
+        self,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self.max_batch_bytes = max_batch_bytes
+        self._queue: "OrderedDict[RequestId, ClientRequest]" = OrderedDict()
+        self._arrival: Dict[RequestId, float] = {}
+
+    def add(self, request: ClientRequest, now: float) -> bool:
+        """Enqueue unless already pending; returns True if added."""
+        rid = request.request_id
+        if rid in self._queue:
+            return False
+        self._queue[rid] = request
+        self._arrival[rid] = now
+        return True
+
+    def remove(self, rid: RequestId) -> None:
+        self._queue.pop(rid, None)
+        self._arrival.pop(rid, None)
+
+    def remove_all(self, requests: List[ClientRequest]) -> None:
+        for request in requests:
+            self.remove(request.request_id)
+
+    def __contains__(self, rid: RequestId) -> bool:
+        return rid in self._queue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def oldest_age(self, now: float) -> Optional[float]:
+        """Age of the longest-waiting request, or None if empty."""
+        if not self._arrival:
+            return None
+        first_rid = next(iter(self._queue))
+        return now - self._arrival[first_rid]
+
+    def peek_all(self) -> List[ClientRequest]:
+        return list(self._queue.values())
+
+    def next_batch(self) -> List[ClientRequest]:
+        """Drain up to the batch limits, preserving FIFO order."""
+        batch: List[ClientRequest] = []
+        batch_bytes = 0
+        for rid in list(self._queue):
+            request = self._queue[rid]
+            if len(batch) >= self.max_batch:
+                break
+            if batch and batch_bytes + request.size_bytes > self.max_batch_bytes:
+                break
+            batch.append(request)
+            batch_bytes += request.size_bytes
+            self.remove(rid)
+        return batch

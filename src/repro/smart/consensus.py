@@ -1,0 +1,90 @@
+"""Per-instance consensus state (VP-Consensus [22]).
+
+Each :class:`ConsensusInstance` tracks one slot of the total order:
+the proposed batch, WRITE and ACCEPT vote sets per regency, whether
+this replica already sent its own WRITE/ACCEPT, and -- once a WRITE
+quorum is observed -- a :class:`~repro.smart.messages.WriteCertificate`
+used as the value-selection proof during the synchronization phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.crypto.hashing import sha256
+from repro.smart.messages import ClientRequest, WriteCertificate
+from repro.smart.quorums import VoteSet
+from repro.smart.view import View
+
+
+def batch_hash(cid: int, batch: List[ClientRequest]) -> bytes:
+    """Canonical hash of a proposed batch (what WRITE/ACCEPT vote on)."""
+    ids = [(r.client_id, r.sequence, r.size_bytes) for r in batch]
+    return sha256("batch", cid, ids)
+
+
+class ConsensusInstance:
+    """State of consensus instance ``cid`` at one replica."""
+
+    def __init__(self, cid: int, view: View):
+        self.cid = cid
+        self.view = view
+        #: batches known for this instance, keyed by their hash
+        self.known_values: Dict[bytes, List[ClientRequest]] = {}
+        #: hash this replica received in a PROPOSE (per regency)
+        self.proposed_hash: Dict[int, bytes] = {}
+        self._writes: Dict[int, VoteSet] = {}
+        self._accepts: Dict[int, VoteSet] = {}
+        self.write_sent: Dict[int, bytes] = {}
+        self.accept_sent: Dict[int, bytes] = {}
+        self.decided = False
+        self.decided_hash: Optional[bytes] = None
+        self.decided_regency: Optional[int] = None
+        self.tentative_hash: Optional[bytes] = None
+        self.write_certificate: Optional[WriteCertificate] = None
+
+    # ------------------------------------------------------------------
+    def writes(self, regency: int) -> VoteSet:
+        votes = self._writes.get(regency)
+        if votes is None:
+            votes = VoteSet(self.view)
+            self._writes[regency] = votes
+        return votes
+
+    def accepts(self, regency: int) -> VoteSet:
+        votes = self._accepts.get(regency)
+        if votes is None:
+            votes = VoteSet(self.view)
+            self._accepts[regency] = votes
+        return votes
+
+    def learn_value(self, batch: List[ClientRequest]) -> bytes:
+        """Register a batch as a candidate value; returns its hash."""
+        value_hash = batch_hash(self.cid, batch)
+        self.known_values[value_hash] = batch
+        return value_hash
+
+    def value_of(self, value_hash: bytes) -> Optional[List[ClientRequest]]:
+        return self.known_values.get(value_hash)
+
+    def record_write_quorum(self, regency: int, value_hash: bytes) -> None:
+        """Snapshot the WRITE quorum as a proof for leader changes."""
+        voters = self.writes(regency).voters_of(value_hash)
+        self.write_certificate = WriteCertificate(
+            cid=self.cid,
+            regency=regency,
+            value_hash=value_hash,
+            writers=voters,
+            batch=self.known_values.get(value_hash),
+        )
+
+    def mark_decided(self, regency: int, value_hash: bytes) -> None:
+        self.decided = True
+        self.decided_hash = value_hash
+        self.decided_regency = regency
+
+    @property
+    def decided_batch(self) -> Optional[List[ClientRequest]]:
+        if self.decided_hash is None:
+            return None
+        return self.known_values.get(self.decided_hash)

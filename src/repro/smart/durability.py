@@ -1,0 +1,173 @@
+"""Durable operation log and checkpoints.
+
+Paper section 5.2: the ordering service's state is tiny (next block
+sequence number + previous block hash), so frequent checkpoints are
+cheap and the operation log stays short.  This module provides:
+
+- :class:`OperationLog` -- the in-memory decided-batch log with
+  checkpoint-based truncation, used by every replica;
+- :class:`FileBackedLog` -- the same interface persisted to disk in a
+  simple append-only record format, recoverable after a crash (used by
+  durability tests and available to deployments that want real
+  persistence).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.crypto.hashing import sha256
+from repro.smart.messages import ClientRequest
+
+
+@dataclass
+class Checkpoint:
+    """A snapshot of application state after executing ``cid``."""
+
+    cid: int
+    state: Any
+    state_hash: bytes
+
+
+class OperationLog:
+    """Decided batches since the last checkpoint.
+
+    Entries are ``(cid, batch)`` in execution order.  ``truncate`` is
+    called when a new checkpoint is stored, discarding all entries the
+    checkpoint covers -- exactly BFT-SMaRt's log management.
+    """
+
+    def __init__(self):
+        self._entries: List[Tuple[int, List[ClientRequest]]] = []
+        self.checkpoint: Optional[Checkpoint] = None
+
+    def append(self, cid: int, batch: List[ClientRequest]) -> None:
+        if self._entries and cid <= self._entries[-1][0]:
+            raise ValueError(f"log must grow monotonically (got cid={cid})")
+        self._entries.append((cid, batch))
+
+    def set_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Install a checkpoint and truncate entries it covers."""
+        self.checkpoint = checkpoint
+        self._entries = [(c, b) for c, b in self._entries if c > checkpoint.cid]
+
+    def entries_after(self, cid: int) -> List[Tuple[int, List[ClientRequest]]]:
+        return [(c, b) for c, b in self._entries if c > cid]
+
+    @property
+    def entries(self) -> List[Tuple[int, List[ClientRequest]]]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_cid(self) -> int:
+        if self._entries:
+            return self._entries[-1][0]
+        if self.checkpoint is not None:
+            return self.checkpoint.cid
+        return -1
+
+
+def state_digest(state: Any) -> bytes:
+    """Canonical hash of an application-state snapshot."""
+    return sha256("state", _jsonable(state))
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalize a snapshot into canonically encodable primitives."""
+    if isinstance(value, (bytes, str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class FileBackedLog(OperationLog):
+    """An :class:`OperationLog` that survives process restarts.
+
+    Records are JSON lines: ``{"cid": ..., "ops": [...]}`` for batch
+    entries and ``{"checkpoint": cid, "state": ...}`` for checkpoints.
+    Operations must be JSON-serializable (or convertible through the
+    ``encode_op``/``decode_op`` hooks).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        encode_op: Optional[Callable[[Any], Any]] = None,
+        decode_op: Optional[Callable[[Any], Any]] = None,
+    ):
+        super().__init__()
+        self.path = path
+        self._encode_op = encode_op or (lambda op: op)
+        self._decode_op = decode_op or (lambda op: op)
+        if os.path.exists(path):
+            self._recover()
+
+    def append(self, cid: int, batch: List[ClientRequest]) -> None:
+        super().append(cid, batch)
+        record = {
+            "cid": cid,
+            "reqs": [
+                {
+                    "client": r.client_id,
+                    "seq": r.sequence,
+                    "op": self._encode_op(r.operation),
+                    "size": r.size_bytes,
+                }
+                for r in batch
+            ],
+        }
+        self._write(record)
+
+    def set_checkpoint(self, checkpoint: Checkpoint) -> None:
+        super().set_checkpoint(checkpoint)
+        self._write(
+            {
+                "checkpoint": checkpoint.cid,
+                "state": _jsonable(checkpoint.state),
+                "hash": checkpoint.state_hash.hex(),
+            }
+        )
+
+    def _write(self, record: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _recover(self) -> None:
+        """Rebuild in-memory state from the on-disk record stream."""
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if "checkpoint" in record:
+                    OperationLog.set_checkpoint(
+                        self,
+                        Checkpoint(
+                            cid=record["checkpoint"],
+                            state=record["state"],
+                            state_hash=bytes.fromhex(record["hash"]),
+                        ),
+                    )
+                else:
+                    batch = [
+                        ClientRequest(
+                            client_id=r["client"],
+                            sequence=r["seq"],
+                            operation=self._decode_op(r["op"]),
+                            size_bytes=r["size"],
+                        )
+                        for r in record["reqs"]
+                    ]
+                    OperationLog.append(self, record["cid"], batch)

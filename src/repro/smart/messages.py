@@ -1,0 +1,238 @@
+"""Message types of the BFT-SMaRt replication protocol.
+
+Sizes: every message reports a ``wire_size()`` used by the network
+model.  The constants approximate BFT-SMaRt's Java serialization plus
+the per-link MAC (paper section 4 / [4]).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Serialized message header: type, sender, consensus id, regency, MAC.
+MESSAGE_HEADER_BYTES = 84
+
+#: Per-request overhead inside a batch: client id, sequence, length,
+#: client signature.
+REQUEST_OVERHEAD_BYTES = 100
+
+HASH_BYTES = 32
+
+RequestId = Tuple[int, int]  # (client_id, client_sequence)
+
+_request_uid = itertools.count()
+
+
+@dataclass
+class ClientRequest:
+    """An operation submitted by a client for total ordering.
+
+    ``operation`` is opaque to the replication layer (for the ordering
+    service it is a Fabric envelope).  ``size_bytes`` is the payload
+    size used for network accounting.  ``reconfig`` marks view-change
+    commands handled by the replication layer itself.
+    """
+
+    client_id: int
+    sequence: int
+    operation: Any
+    size_bytes: int = 0
+    reconfig: bool = False
+    submit_time: float = 0.0
+    uid: int = field(default_factory=lambda: next(_request_uid))
+
+    @property
+    def request_id(self) -> RequestId:
+        return (self.client_id, self.sequence)
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + REQUEST_OVERHEAD_BYTES + self.size_bytes
+
+
+@dataclass
+class Propose:
+    """Leader's proposal of a batch for consensus instance ``cid``."""
+
+    sender: int
+    cid: int
+    regency: int
+    batch: List[ClientRequest]
+    value_hash: bytes
+
+    def wire_size(self) -> int:
+        payload = sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in self.batch)
+        return MESSAGE_HEADER_BYTES + HASH_BYTES + payload
+
+
+@dataclass
+class Write:
+    """Second phase: echo of the proposed value's hash."""
+
+    sender: int
+    cid: int
+    regency: int
+    value_hash: bytes
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + HASH_BYTES
+
+
+@dataclass
+class Accept:
+    """Third phase: commit vote for the value's hash."""
+
+    sender: int
+    cid: int
+    regency: int
+    value_hash: bytes
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + HASH_BYTES
+
+
+@dataclass
+class Reply:
+    """Reply to a client (suppressed when a custom replier is set)."""
+
+    sender: int
+    client_id: int
+    sequence: int
+    result: Any
+    regency: int
+    tentative: bool = False
+    result_size: int = 0
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + self.result_size
+
+
+@dataclass
+class ForwardedRequest:
+    """A request a replica forwards to the leader after a first timeout."""
+
+    sender: int
+    request: ClientRequest
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + self.request.wire_size()
+
+
+@dataclass
+class Stop:
+    """Vote to abandon the current regency (synchronization phase)."""
+
+    sender: int
+    next_regency: int
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES
+
+
+@dataclass
+class WriteCertificate:
+    """Proof that a write quorum existed for (cid, regency, hash)."""
+
+    cid: int
+    regency: int
+    value_hash: bytes
+    writers: Tuple[int, ...]
+    batch: Optional[List[ClientRequest]] = None
+
+    def wire_size(self) -> int:
+        payload = 0
+        if self.batch is not None:
+            payload = sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in self.batch)
+        return HASH_BYTES + 8 * len(self.writers) + payload
+
+
+@dataclass
+class StopData:
+    """A replica's state report sent to the new regency's leader."""
+
+    sender: int
+    regency: int
+    last_executed_cid: int
+    write_certificate: Optional[WriteCertificate]
+    pending: List[ClientRequest] = field(default_factory=list)
+
+    def wire_size(self) -> int:
+        size = MESSAGE_HEADER_BYTES + 16
+        if self.write_certificate is not None:
+            size += self.write_certificate.wire_size()
+        size += sum(r.wire_size() for r in self.pending)
+        return size
+
+
+@dataclass
+class Sync:
+    """New leader's installation message: the safe value to adopt."""
+
+    sender: int
+    regency: int
+    cid: int
+    batch: List[ClientRequest]
+    value_hash: bytes
+    proofs: List[StopData]
+
+    def wire_size(self) -> int:
+        payload = sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in self.batch)
+        proofs = sum(p.wire_size() for p in self.proofs)
+        return MESSAGE_HEADER_BYTES + HASH_BYTES + payload + proofs
+
+
+@dataclass
+class ValueRequest:
+    """Ask peers for the batch behind a hash we voted on but never saw."""
+
+    sender: int
+    cid: int
+    value_hash: bytes
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + HASH_BYTES
+
+
+@dataclass
+class ValueResponse:
+    sender: int
+    cid: int
+    value_hash: bytes
+    batch: List[ClientRequest]
+
+    def wire_size(self) -> int:
+        payload = sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in self.batch)
+        return MESSAGE_HEADER_BYTES + HASH_BYTES + payload
+
+
+@dataclass
+class StateRequest:
+    """State-transfer request from a recovering or joining replica."""
+
+    sender: int
+    from_cid: int
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + 8
+
+
+@dataclass
+class StateReply:
+    """Checkpoint + log suffix from an up-to-date replica."""
+
+    sender: int
+    checkpoint_cid: int
+    state: Any
+    state_hash: bytes
+    log: List[Tuple[int, List[ClientRequest]]]
+    last_cid: int
+    view_snapshot: Any = None
+    state_size: int = 1024
+
+    def wire_size(self) -> int:
+        log_bytes = sum(
+            sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in batch)
+            for _cid, batch in self.log
+        )
+        return MESSAGE_HEADER_BYTES + HASH_BYTES + self.state_size + log_bytes

@@ -1,0 +1,56 @@
+"""Weighted vote accounting for consensus phases."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.smart.view import View
+
+
+class VoteSet:
+    """Votes for one phase of one (cid, regency): hash -> voters.
+
+    A replica may vote once per phase; re-votes for the same hash are
+    idempotent and conflicting votes from the same replica (Byzantine
+    equivocation) are recorded but only the first counts.
+    """
+
+    def __init__(self, view: View):
+        self.view = view
+        self._votes: Dict[bytes, Set[int]] = {}
+        self._voted: Dict[int, bytes] = {}
+        self.equivocators: Set[int] = set()
+
+    def add(self, replica: int, value_hash: bytes) -> bool:
+        """Record a vote; returns True if it was counted."""
+        if replica not in self.view.weights:
+            return False
+        previous = self._voted.get(replica)
+        if previous is not None:
+            if previous != value_hash:
+                self.equivocators.add(replica)
+            return False
+        self._voted[replica] = value_hash
+        self._votes.setdefault(value_hash, set()).add(replica)
+        return True
+
+    def weight_for(self, value_hash: bytes) -> float:
+        voters = self._votes.get(value_hash, ())
+        return sum(self.view.weights[v] for v in voters)
+
+    def has_quorum(self, value_hash: bytes) -> bool:
+        return self.view.is_quorum_weight(self.weight_for(value_hash))
+
+    def quorum_value(self) -> Optional[bytes]:
+        """The unique hash holding a quorum, if any."""
+        for value_hash in self._votes:
+            if self.has_quorum(value_hash):
+                return value_hash
+        return None
+
+    def voters_of(self, value_hash: bytes) -> Tuple[int, ...]:
+        return tuple(sorted(self._votes.get(value_hash, ())))
+
+    @property
+    def total_votes(self) -> int:
+        return len(self._voted)

@@ -1,0 +1,145 @@
+"""State transfer for recovering, lagging and joining replicas.
+
+Paper section 5.2: because the ordering service's state is tiny (next
+block number + previous block hash), checkpoints are cheap, logs stay
+short, and bringing a new node up to date is fast.
+
+Protocol (BFT-SMaRt's CST, simplified to its essential structure): the
+fetching replica asks every peer for its checkpoint + log suffix; it
+waits for ``f+1`` replies agreeing on the checkpoint digest and the
+last decided instance, installs the checkpoint, replays the log, and
+resumes normal processing.  Replies that disagree (from Byzantine or
+stale peers) are simply never matched by ``f+1`` others.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.smart.durability import Checkpoint, state_digest
+from repro.smart.messages import StateReply, StateRequest
+
+if TYPE_CHECKING:
+    from repro.smart.replica import ServiceReplica
+
+#: Seconds between retries while a transfer is unsatisfied.
+RETRY_INTERVAL = 1.0
+
+
+class StateTransfer:
+    """Catch-up driver for one replica."""
+
+    def __init__(self, replica: "ServiceReplica"):
+        self.replica = replica
+        self.in_progress = False
+        self._replies: Dict[Tuple[int, bytes, int], Dict[int, StateReply]] = {}
+        self.transfers_completed = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin (or restart) a state transfer; idempotent while active."""
+        if self.in_progress:
+            return
+        self.in_progress = True
+        self._replies.clear()
+        self._ask()
+
+    def _ask(self) -> None:
+        replica = self.replica
+        if not self.in_progress or replica.crashed:
+            return
+        request = StateRequest(replica.replica_id, replica.last_executed + 1)
+        peers = [p for p in replica.view.processes if p != replica.replica_id]
+        replica.network.broadcast(
+            replica.replica_id, peers, request, request.wire_size()
+        )
+        replica.sim.schedule(RETRY_INTERVAL, self._retry)
+
+    def _retry(self) -> None:
+        if self.in_progress:
+            self._replies.clear()
+            self._ask()
+
+    # ------------------------------------------------------------------
+    def on_state_request(self, src: int, msg: StateRequest) -> None:
+        replica = self.replica
+        checkpoint = replica.log.checkpoint
+        if checkpoint is None:
+            checkpoint = Checkpoint(cid=-1, state=None, state_hash=state_digest(None))
+        reply = StateReply(
+            sender=replica.replica_id,
+            checkpoint_cid=checkpoint.cid,
+            state=checkpoint.state,
+            state_hash=checkpoint.state_hash,
+            log=replica.log.entries_after(checkpoint.cid),
+            last_cid=replica.last_executed,
+            view_snapshot=replica.view,
+        )
+        replica._send(src, reply, reply.wire_size())
+
+    def on_state_reply(self, src: int, msg: StateReply) -> None:
+        replica = self.replica
+        if not self.in_progress:
+            return
+        if msg.last_cid <= replica.last_executed:
+            # peer is no further along than we are; nothing to install.
+            # If f+1 peers agree we are actually up to date, stop asking.
+            key = (msg.checkpoint_cid, msg.state_hash, msg.last_cid)
+            group = self._replies.setdefault(key, {})
+            group[src] = msg
+            if (
+                msg.last_cid == replica.last_executed
+                and len(group) >= replica.view.f + 1
+            ):
+                self._finish()
+            return
+        key = (msg.checkpoint_cid, msg.state_hash, msg.last_cid)
+        group = self._replies.setdefault(key, {})
+        group[src] = msg
+        if len(group) >= replica.view.f + 1:
+            self._install(msg, group)
+
+    # ------------------------------------------------------------------
+    def _install(self, sample: StateReply, group: Dict[int, StateReply]) -> None:
+        replica = self.replica
+        # double-check the claimed digest against the shipped state
+        if state_digest(sample.state) != sample.state_hash:
+            candidates = [
+                r for r in group.values() if state_digest(r.state) == r.state_hash
+            ]
+            if not candidates:
+                return
+            sample = candidates[0]
+        if sample.checkpoint_cid > replica.last_executed:
+            replica.app.set_state(sample.state)
+            replica.last_executed = sample.checkpoint_cid
+            replica.log.set_checkpoint(
+                Checkpoint(
+                    cid=sample.checkpoint_cid,
+                    state=sample.state,
+                    state_hash=sample.state_hash,
+                )
+            )
+        for cid, batch in sorted(sample.log, key=lambda entry: entry[0]):
+            if cid != replica.last_executed + 1:
+                continue
+            inst = replica.instance(cid)
+            inst.learn_value(batch)
+            replica._execute_batch(inst, batch, replica.regency, tentative=False)
+            replica.last_executed = cid
+            replica.log.append(cid, batch)
+        if sample.view_snapshot is not None:
+            view = sample.view_snapshot
+            if view.view_id > replica.view.view_id:
+                replica.install_view(view)
+        # drop stale consensus bookkeeping
+        for cid in [c for c in replica.instances if c <= replica.last_executed]:
+            del replica.instances[cid]
+        replica.active_cid = None
+        self._finish()
+
+    def _finish(self) -> None:
+        self.in_progress = False
+        self._replies.clear()
+        self.transfers_completed += 1
+        self.replica._maybe_propose()

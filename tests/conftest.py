@@ -1,0 +1,136 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.sim import ConstantLatency, Network, Simulator
+from repro.smart import (
+    ReplicaConfig,
+    ServiceProxy,
+    ServiceReplica,
+    StateMachine,
+    View,
+    wheat_view,
+)
+
+
+class CounterApp(StateMachine):
+    """A tiny deterministic state machine used across replica tests.
+
+    State is a running total plus the full operation history, so any
+    divergence between replicas is visible.
+    """
+
+    def __init__(self):
+        self.total = 0
+        self.history: List[int] = []
+
+    def execute_batch(self, cid, requests, regency, tentative=False):
+        results = []
+        for request in requests:
+            self.total += request.operation
+            self.history.append(request.operation)
+            results.append(self.total)
+        return results
+
+    def get_state(self):
+        return {"total": self.total, "history": list(self.history)}
+
+    def set_state(self, state):
+        if state is None:
+            self.total = 0
+            self.history = []
+        else:
+            self.total = state["total"]
+            self.history = list(state["history"])
+
+
+class Cluster:
+    """A wired BFT-SMaRt cluster over a fresh simulator."""
+
+    def __init__(
+        self,
+        n: int = 4,
+        f: int = 1,
+        delta: int = 0,
+        tentative: bool = False,
+        latency: float = 0.0005,
+        request_timeout: float = 0.5,
+        checkpoint_period: int = 1000,
+        vmax_holders: Optional[Tuple[int, ...]] = None,
+    ):
+        self.sim = Simulator()
+        self.network = Network(self.sim, ConstantLatency(latency))
+        if delta > 0:
+            self.view = wheat_view(
+                0, tuple(range(n)), f=f, delta=delta, vmax_holders=vmax_holders
+            )
+        else:
+            self.view = View(0, tuple(range(n)), f)
+        self.config = ReplicaConfig(
+            tentative_execution=tentative,
+            request_timeout=request_timeout,
+            checkpoint_period=checkpoint_period,
+        )
+        self.apps = [CounterApp() for _ in range(n)]
+        self.replicas = []
+        for i in range(n):
+            replica = ServiceReplica(
+                self.sim, self.network, i, self.view, self.apps[i], config=self.config
+            )
+            self.network.register(i, replica)
+            self.replicas.append(replica)
+        self._next_client = 1000
+
+    def proxy(self, accept_tentative: bool = False, **kwargs) -> ServiceProxy:
+        client_id = self._next_client
+        self._next_client += 1
+        return ServiceProxy(
+            self.sim,
+            self.network,
+            client_id,
+            self.view,
+            accept_tentative=accept_tentative,
+            **kwargs,
+        )
+
+    def run(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def drain(self, futures, deadline: float = 10.0) -> bool:
+        return self.sim.drain(futures, self.sim.now + deadline)
+
+    def histories_agree(self) -> bool:
+        reference = None
+        for replica, app in zip(self.replicas, self.apps):
+            if replica.crashed:
+                continue
+            if reference is None:
+                reference = app.history
+            elif app.history != reference:
+                return False
+        return True
+
+    def prefix_consistent(self) -> bool:
+        """Every replica's history is a prefix of the longest one."""
+        histories = [app.history for app in self.apps]
+        longest = max(histories, key=len)
+        return all(longest[: len(h)] == h for h in histories)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster()
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim):
+    return Network(sim, ConstantLatency(0.0005))

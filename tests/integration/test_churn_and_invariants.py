@@ -1,0 +1,154 @@
+"""Long-running churn scenarios and cluster-wide safety invariants."""
+
+import pytest
+
+from repro.fabric.api import BlockDelivery
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.envelope import Envelope
+from repro.ordering import OrderingServiceConfig, build_ordering_service
+from tests.conftest import Cluster
+
+
+class BlockLog:
+    """Records every block copy any node ever disseminated."""
+
+    def __init__(self, network):
+        self.copies = []  # (source, channel, number, digest)
+        network.add_filter(self)
+
+    def __call__(self, src, dst, payload):
+        if isinstance(payload, BlockDelivery):
+            block = payload.block
+            self.copies.append(
+                (payload.source, block.channel_id, block.number, block.header.digest())
+            )
+        return payload
+
+    def per_node_unique(self) -> bool:
+        """No node ever signs two different blocks with one number."""
+        seen = {}
+        for source, channel, number, digest in self.copies:
+            key = (source, channel, number)
+            if key in seen and seen[key] != digest:
+                return False
+            seen[key] = digest
+        return True
+
+    def cross_node_consistent(self) -> bool:
+        """All nodes agree on each block number's digest."""
+        seen = {}
+        for _source, channel, number, digest in self.copies:
+            key = (channel, number)
+            if key in seen and seen[key] != digest:
+                return False
+            seen[key] = digest
+        return True
+
+
+class TestBlockInvariants:
+    def test_no_conflicting_blocks_in_normal_operation(self):
+        service = build_ordering_service(
+            OrderingServiceConfig(
+                f=1,
+                channel=ChannelConfig("ch0", max_message_count=5),
+                physical_cores=None,
+            )
+        )
+        log = BlockLog(service.network)
+        for _ in range(50):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(5.0)
+        assert log.per_node_unique()
+        assert log.cross_node_consistent()
+        assert service.frontends[0].blocks_delivered == 10
+
+    def test_no_conflicting_blocks_across_leader_change(self):
+        service = build_ordering_service(
+            OrderingServiceConfig(
+                f=1,
+                channel=ChannelConfig("ch0", max_message_count=5),
+                physical_cores=None,
+                request_timeout=0.5,
+            )
+        )
+        log = BlockLog(service.network)
+        for _ in range(20):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(1.5)
+        service.crash_node(0)
+        for _ in range(20):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(25.0)
+        assert log.per_node_unique()
+        assert log.cross_node_consistent()
+        assert service.frontends[0].blocks_delivered == 8
+
+    def test_wheat_tentative_never_conflicts_at_frontends(self):
+        """With tentative execution, nodes may roll back internally,
+        but a frontend can only accept 2f+1-matched blocks, so the
+        delivered chain is conflict-free by construction."""
+        service = build_ordering_service(
+            OrderingServiceConfig(
+                f=1,
+                delta=1,
+                vmax_holders=(0, 1),
+                tentative_execution=True,
+                channel=ChannelConfig("ch0", max_message_count=5),
+                physical_cores=None,
+                request_timeout=0.5,
+            )
+        )
+        log = BlockLog(service.network)
+        for _ in range(25):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(2.0)
+        service.crash_node(0)  # Vmax leader dies mid-run
+        for _ in range(25):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(30.0)
+        assert log.cross_node_consistent()
+        assert service.frontends[0].blocks_delivered == 10
+
+
+class TestChurn:
+    def test_rolling_crash_recover_cycles(self):
+        """Replicas 1..3 take turns crashing and recovering under
+        continuous load; the service never loses a request and all
+        live replicas converge."""
+        cluster = Cluster(request_timeout=0.4, checkpoint_period=10)
+        proxy = cluster.proxy(invoke_timeout=4.0, max_retries=40)
+        total_ops = 0
+        for round_number in range(3):
+            victim = 1 + round_number % 3
+            cluster.replicas[victim].crash()
+            futures = [proxy.invoke(1) for _ in range(8)]
+            assert cluster.drain(futures, deadline=60.0)
+            total_ops += 8
+            cluster.replicas[victim].recover()
+            cluster.run(4.0)
+            # the recovered replica caught up fully
+            assert cluster.apps[victim].total == total_ops
+        assert all(app.total == total_ops for app in cluster.apps)
+
+    def test_leader_churn_with_load(self):
+        """Crash the current leader twice in a 7-node cluster while
+        clients keep submitting."""
+        cluster = Cluster(n=7, f=2, request_timeout=0.4)
+        proxy = cluster.proxy(invoke_timeout=4.0, max_retries=60)
+        assert cluster.drain([proxy.invoke(1)], deadline=20.0)
+        submitted = 1
+        for _ in range(2):
+            leader = cluster.replicas[1].view.leader_of(
+                max(r.regency for r in cluster.replicas if not r.crashed)
+            )
+            cluster.replicas[leader].crash()
+            futures = [proxy.invoke(1) for _ in range(5)]
+            assert cluster.drain(futures, deadline=90.0)
+            submitted += 5
+        alive = [
+            app
+            for app, replica in zip(cluster.apps, cluster.replicas)
+            if not replica.crashed
+        ]
+        assert all(app.total == submitted for app in alive)
+        assert cluster.prefix_consistent()

@@ -1,0 +1,93 @@
+"""Property-based tests for the crypto substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ecdsa import ECDSAP256Scheme
+from repro.crypto.hashing import canonical_encode, sha256
+from repro.crypto.mac import MacAuthenticator
+from repro.crypto.signatures import SimulatedECDSA
+
+# a strategy for arbitrarily nested encodable values
+encodable = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+class TestCanonicalEncoding:
+    @given(encodable)
+    def test_encoding_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @given(encodable, encodable)
+    def test_distinct_values_distinct_encodings(self, a, b):
+        if a != b:
+            assert canonical_encode(a) != canonical_encode(b)
+
+    @given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=6))
+    def test_dict_insertion_order_irrelevant(self, mapping):
+        items = list(mapping.items())
+        reversed_dict = dict(reversed(items))
+        assert canonical_encode(mapping) == canonical_encode(reversed_dict)
+
+    @given(st.lists(st.binary(max_size=16), max_size=6))
+    def test_no_list_concatenation_collision(self, chunks):
+        digest = sha256(chunks)
+        joined = sha256([b"".join(chunks)])
+        if len(chunks) != 1:
+            assert digest != joined
+
+
+class TestSimulatedSignatures:
+    @given(st.binary(max_size=256), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40)
+    def test_roundtrip(self, message, seed):
+        scheme = SimulatedECDSA()
+        private, public = scheme.keygen(random.Random(seed))
+        assert scheme.verify(public, message, scheme.sign(private, message))
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 63))
+    @settings(max_examples=40)
+    def test_bitflip_detected(self, message, flip_byte):
+        scheme = SimulatedECDSA()
+        private, public = scheme.keygen(random.Random(1))
+        signature = bytearray(scheme.sign(private, message))
+        signature[flip_byte % len(signature)] ^= 0x01
+        assert not scheme.verify(public, message, bytes(signature))
+
+
+class TestRealECDSA:
+    @given(st.binary(max_size=128))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip(self, message):
+        scheme = ECDSAP256Scheme()
+        private, public = scheme.keygen(random.Random(99))
+        assert scheme.verify(public, message, scheme.sign(private, message))
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=10, deadline=None)
+    def test_cross_message_rejection(self, message):
+        scheme = ECDSAP256Scheme()
+        private, public = scheme.keygen(random.Random(99))
+        signature = scheme.sign(private, b"fixed")
+        if message != b"fixed":
+            assert not scheme.verify(public, message, signature)
+
+
+class TestMacs:
+    @given(st.binary(max_size=128), st.integers(0, 7), st.integers(0, 7))
+    @settings(max_examples=40)
+    def test_roundtrip_any_pair(self, message, a, b):
+        auth_a = MacAuthenticator(a)
+        auth_b = MacAuthenticator(b)
+        assert auth_b.check(a, message, auth_a.tag(b, message))

@@ -1,0 +1,105 @@
+"""Property-based tests for the capacity model.
+
+The model must behave like a physical system for *any* parameters: all
+bounds positive and finite, monotone in load-increasing dimensions,
+and Equation 1 an upper bound everywhere.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.model import (
+    OrderingCapacityModel,
+    SignatureThroughputModel,
+    eq1_bound,
+)
+
+cluster_sizes = st.sampled_from([4, 7, 10, 13])
+envelope_sizes = st.integers(min_value=1, max_value=64 * 1024)
+block_sizes = st.integers(min_value=1, max_value=1000)
+receiver_counts = st.integers(min_value=1, max_value=64)
+
+
+class TestCapacityModelProperties:
+    @given(cluster_sizes, envelope_sizes, block_sizes, receiver_counts)
+    @settings(max_examples=100)
+    def test_throughput_positive_and_finite(self, n, es, bs, r):
+        throughput = OrderingCapacityModel(n=n).throughput(es, bs, r)
+        assert 0 < throughput < 1e9
+
+    @given(cluster_sizes, envelope_sizes, block_sizes, st.data())
+    @settings(max_examples=60)
+    def test_monotone_nonincreasing_in_receivers(self, n, es, bs, data):
+        r1 = data.draw(receiver_counts)
+        r2 = data.draw(receiver_counts)
+        low, high = sorted((r1, r2))
+        model = OrderingCapacityModel(n=n)
+        assert model.throughput(es, bs, high) <= model.throughput(es, bs, low) * 1.0001
+
+    @given(cluster_sizes, block_sizes, receiver_counts, st.data())
+    @settings(max_examples=60)
+    def test_monotone_nonincreasing_in_envelope_size(self, n, bs, r, data):
+        e1 = data.draw(envelope_sizes)
+        e2 = data.draw(envelope_sizes)
+        small, large = sorted((e1, e2))
+        model = OrderingCapacityModel(n=n)
+        assert model.throughput(large, bs, r) <= model.throughput(small, bs, r) * 1.0001
+
+    @given(envelope_sizes, block_sizes, receiver_counts, st.data())
+    @settings(max_examples=60)
+    def test_monotone_nonincreasing_in_cluster_size(self, es, bs, r, data):
+        n1 = data.draw(cluster_sizes)
+        n2 = data.draw(cluster_sizes)
+        small, large = sorted((n1, n2))
+        assert (
+            OrderingCapacityModel(n=large).throughput(es, bs, r)
+            <= OrderingCapacityModel(n=small).throughput(es, bs, r) * 1.0001
+        )
+
+    @given(cluster_sizes, envelope_sizes, block_sizes, receiver_counts)
+    @settings(max_examples=100)
+    def test_eq1_upper_bounds_full_model(self, n, es, bs, r):
+        full = OrderingCapacityModel(n=n).throughput(es, bs, r)
+        assert full <= eq1_bound(bs, es, r, n=n) * 1.0001
+
+    @given(cluster_sizes, envelope_sizes, receiver_counts, st.data())
+    @settings(max_examples=60)
+    def test_block_rate_consistent(self, n, es, r, data):
+        bs = data.draw(block_sizes)
+        model = OrderingCapacityModel(n=n)
+        assert model.block_rate(es, bs, r) * bs == pytest.approx(
+            model.throughput(es, bs, r)
+        )
+
+    @given(st.integers(1, 400), st.integers(1, 400))
+    @settings(max_examples=40)
+    def test_bigger_batches_never_hurt(self, b1, b2):
+        small, large = sorted((b1, b2))
+        assert (
+            OrderingCapacityModel(n=4, batch_limit=large).throughput(200, 10, 2)
+            >= OrderingCapacityModel(n=4, batch_limit=small).throughput(200, 10, 2)
+            * 0.9999
+        )
+
+
+class TestSignatureModelProperties:
+    @given(st.integers(1, 64))
+    @settings(max_examples=40)
+    def test_rate_positive_and_bounded_by_hw(self, workers):
+        model = SignatureThroughputModel()
+        rate = model.throughput(workers)
+        assert 0 < rate <= model.peak * 1.0001
+
+    @given(st.integers(1, 15))
+    @settings(max_examples=30)
+    def test_monotone_in_workers(self, workers):
+        model = SignatureThroughputModel()
+        assert model.throughput(workers + 1) >= model.throughput(workers)
+
+    @given(st.integers(16, 64))
+    @settings(max_examples=20)
+    def test_saturates_at_hardware_threads(self, workers):
+        model = SignatureThroughputModel()
+        assert model.throughput(workers) == model.peak

@@ -1,0 +1,146 @@
+"""Property-based tests for blocks, ledgers, cutters and the state DB."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.block import GENESIS_PREVIOUS_HASH, make_block
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.envelope import Envelope
+from repro.fabric.ledger import Ledger
+from repro.fabric.statedb import VersionedKVStore
+from repro.ordering.blockcutter import BlockCutter
+from repro.smart.batching import PendingQueue
+from repro.smart.messages import ClientRequest
+
+
+class TestLedgerChain:
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=12))
+    @settings(max_examples=40)
+    def test_chain_always_verifies(self, block_sizes):
+        ledger = Ledger("ch0")
+        for size in block_sizes:
+            envelopes = [Envelope.raw("ch0", 10) for _ in range(size)]
+            ledger.append(make_block(ledger.height, ledger.last_hash, envelopes, "ch0"))
+        assert ledger.verify_chain()
+        assert ledger.total_transactions() == sum(block_sizes)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=8),
+        st.data(),
+    )
+    @settings(max_examples=40)
+    def test_any_tamper_breaks_verification(self, block_sizes, data):
+        ledger = Ledger("ch0")
+        for size in block_sizes:
+            envelopes = [Envelope.raw("ch0", 10) for _ in range(size)]
+            ledger.append(make_block(ledger.height, ledger.last_hash, envelopes, "ch0"))
+        victim = data.draw(st.integers(0, ledger.height - 2))
+        # replace a middle block with a forged one of the same number
+        forged = make_block(
+            victim,
+            ledger.get(victim).header.previous_hash,
+            [Envelope.raw("ch0", 11)],
+            "ch0",
+        )
+        ledger._blocks[victim] = forged
+        assert not ledger.verify_chain()
+
+
+class TestBlockCutterProperties:
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=50, max_value=400),
+        st.lists(st.integers(min_value=1, max_value=200), min_size=0, max_size=60),
+    )
+    @settings(max_examples=60)
+    def test_no_envelope_lost_duplicated_or_reordered(
+        self, max_count, max_bytes, sizes
+    ):
+        config = ChannelConfig(
+            "ch0", max_message_count=max_count, preferred_max_bytes=max_bytes
+        )
+        cutter = BlockCutter(config)
+        envelopes = [Envelope.raw("ch0", size) for size in sizes]
+        out = []
+        for envelope in envelopes:
+            for batch in cutter.ordered(envelope):
+                out.extend(batch)
+        out.extend(cutter.cut())
+        assert [e.envelope_id for e in out] == [e.envelope_id for e in envelopes]
+
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60)
+    def test_batches_respect_count_limit(self, max_count, sizes):
+        config = ChannelConfig("ch0", max_message_count=max_count)
+        cutter = BlockCutter(config)
+        for size in sizes:
+            for batch in cutter.ordered(Envelope.raw("ch0", size)):
+                assert 0 < len(batch) <= max_count
+
+
+class TestPendingQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 20)),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_drain_everything_preserves_fifo_of_first_occurrence(self, id_pairs):
+        queue = PendingQueue(max_batch=7)
+        seen = set()
+        expected = []
+        for client, seq in id_pairs:
+            request = ClientRequest(client_id=client, sequence=seq, operation=None)
+            queue.add(request, 0.0)
+            if (client, seq) not in seen:
+                seen.add((client, seq))
+                expected.append((client, seq))
+        drained = []
+        while len(queue):
+            batch = queue.next_batch()
+            assert 0 < len(batch) <= 7
+            drained.extend(r.request_id for r in batch)
+        assert drained == expected
+
+
+class TestStateDB:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.one_of(st.none(), st.integers(0, 100)),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_plain_dict_semantics(self, writes):
+        store = VersionedKVStore()
+        reference = {}
+        for index, (key, value) in enumerate(writes):
+            store.apply_write(key, value, (0, index))
+            if value is None:
+                reference.pop(key, None)
+            else:
+                reference[key] = value
+        assert {k: store.get_value(k) for k in store.keys()} == reference
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]), st.integers(0, 9), max_size=3
+        )
+    )
+    @settings(max_examples=40)
+    def test_snapshot_restore_identity(self, mapping):
+        store = VersionedKVStore()
+        for index, (key, value) in enumerate(sorted(mapping.items())):
+            store.apply_write(key, value, (1, index))
+        clone = VersionedKVStore()
+        clone.restore(store.snapshot())
+        assert clone.snapshot() == store.snapshot()
+        assert clone.height == store.height

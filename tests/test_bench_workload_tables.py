@@ -1,0 +1,219 @@
+"""Tests for workload generators, table rendering and the CLI."""
+
+import pytest
+
+from repro.bench.tables import (
+    render_ablation,
+    render_conclusion,
+    render_figure6,
+    render_figure7_panel,
+    render_lan_sim,
+)
+from repro.bench.figures import AblationResult, LanSimResult
+from repro.bench.workload import ClosedLoopClients, OpenLoopGenerator, envelope_stream
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.envelope import Envelope
+from repro.ordering import OrderingServiceConfig, build_ordering_service
+
+
+def small_service(block_size=5, num_frontends=2):
+    config = OrderingServiceConfig(
+        f=1,
+        channel=ChannelConfig("ch0", max_message_count=block_size, batch_timeout=0.5),
+        num_frontends=num_frontends,
+        physical_cores=None,
+        enable_batch_timeout=True,
+    )
+    return build_ordering_service(config)
+
+
+class TestEnvelopeStream:
+    def test_count_and_size(self):
+        envelopes = list(envelope_stream("ch0", 256, 5))
+        assert len(envelopes) == 5
+        assert all(e.payload_size == 256 for e in envelopes)
+        assert len({e.envelope_id for e in envelopes}) == 5
+
+
+class TestOpenLoopGenerator:
+    def test_rate_and_duration(self):
+        service = small_service()
+        generator = OpenLoopGenerator(
+            sim=service.sim,
+            frontends=service.frontends,
+            channel_id="ch0",
+            envelope_size=100,
+            rate_per_second=100.0,
+            duration=2.0,
+        )
+        generator.start()
+        service.run(5.0)
+        assert generator.submitted == pytest.approx(200, abs=3)
+        meter = service.stats.meter("orderer0.envelopes")
+        assert meter.total == generator.submitted
+
+    def test_round_robin_across_frontends(self):
+        service = small_service()
+        generator = OpenLoopGenerator(
+            sim=service.sim,
+            frontends=service.frontends,
+            channel_id="ch0",
+            envelope_size=100,
+            rate_per_second=100.0,
+            duration=1.0,
+        )
+        generator.start()
+        service.run(3.0)
+        submitted = [f.envelopes_submitted for f in service.frontends]
+        assert abs(submitted[0] - submitted[1]) <= 1
+
+    def test_stop(self):
+        service = small_service()
+        generator = OpenLoopGenerator(
+            sim=service.sim,
+            frontends=service.frontends,
+            channel_id="ch0",
+            envelope_size=100,
+            rate_per_second=1000.0,
+            duration=10.0,
+        )
+        generator.start()
+        service.run(0.1)
+        generator.stop()
+        count = generator.submitted
+        service.run(1.0)
+        assert generator.submitted == count
+
+    def test_invalid_rate(self):
+        service = small_service()
+        generator = OpenLoopGenerator(
+            sim=service.sim,
+            frontends=service.frontends,
+            channel_id="ch0",
+            envelope_size=100,
+            rate_per_second=0.0,
+            duration=1.0,
+        )
+        with pytest.raises(ValueError):
+            generator.start()
+
+
+class TestClosedLoopClients:
+    def test_completes_all_envelopes(self):
+        service = small_service(block_size=2, num_frontends=1)
+        clients = ClosedLoopClients(
+            sim=service.sim,
+            frontend=service.frontends[0],
+            channel_id="ch0",
+            envelope_size=64,
+            clients=4,
+            max_envelopes=20,
+        )
+        clients.start()
+        service.run(20.0)
+        assert clients.done
+        assert clients.completed == 20
+
+    def test_bounded_concurrency(self):
+        service = small_service(block_size=2, num_frontends=1)
+        clients = ClosedLoopClients(
+            sim=service.sim,
+            frontend=service.frontends[0],
+            channel_id="ch0",
+            envelope_size=64,
+            clients=3,
+            max_envelopes=30,
+        )
+        clients.start()
+        assert len(clients._outstanding) == 3
+        service.run(30.0)
+        assert clients.completed == 30
+
+
+class TestRendering:
+    def test_render_figure6(self):
+        text = render_figure6({1: {"measured": 800.0, "model": 808.0}})
+        assert "807" in text or "800" in text
+        assert "Figure 6" in text
+
+    def test_render_figure7_panel(self):
+        panel = {40: {1: 50000.0, 32: 15000.0}}
+        text = render_figure7_panel(4, 10, panel)
+        assert "4 orderers" in text
+        assert "50.0" in text and "15.0" in text
+
+    def test_render_lan_sim(self):
+        result = LanSimResult(4, 10, 1024, 2, 25000.0, 22800.0, 22700.0, 22242.0)
+        text = render_lan_sim([result])
+        assert "22800" in text
+
+    def test_render_conclusion(self):
+        text = render_conclusion(
+            {
+                "bft_ordering_worst_case": 1986.0,
+                "ethereum_theoretical_peak": 1000.0,
+                "bitcoin_peak": 7.0,
+                "speedup_vs_ethereum": 1.986,
+                "speedup_vs_bitcoin": 283.7,
+            }
+        )
+        assert "1986" in text and "Ethereum" in text
+
+    def test_render_ablation(self):
+        rows = [AblationResult(True, True, 0.278, 0.345)]
+        text = render_ablation(rows)
+        assert "278" in text
+
+
+class TestCli:
+    def test_figure6_via_cli(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--figure", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "8400" in out
+
+    def test_figure7_via_cli(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--figure", "7", "--orderers", "4", "--block-size", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "4 orderers, 10 envelopes/block" in out
+
+    def test_eq1_via_cli(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--figure", "eq1"]) == 0
+        out = capsys.readouterr().out
+        assert "Equation 1" in out and "Ethereum" in out
+
+    def test_bad_figure_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--figure", "99"])
+
+
+class TestServiceConfigValidation:
+    def test_site_count_mismatch(self):
+        config = OrderingServiceConfig(f=1, node_sites=["a", "b"])
+        with pytest.raises(ValueError):
+            build_ordering_service(config)
+
+    def test_frontend_site_count_mismatch(self):
+        config = OrderingServiceConfig(
+            f=1, num_frontends=2, frontend_sites=["lan"]
+        )
+        with pytest.raises(ValueError):
+            build_ordering_service(config)
+
+    def test_n_derived_from_f_and_delta(self):
+        assert OrderingServiceConfig(f=2).n == 7
+        assert OrderingServiceConfig(f=1, delta=1).n == 5
+
+    def test_leader_node_is_node_zero(self):
+        service = build_ordering_service(
+            OrderingServiceConfig(f=1, physical_cores=None)
+        )
+        assert service.leader_node is service.nodes[0]

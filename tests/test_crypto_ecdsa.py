@@ -1,0 +1,134 @@
+"""Unit tests for the from-scratch ECDSA P-256 implementation."""
+
+import random
+
+import pytest
+
+from repro.crypto.ecdsa import ECDSAP256Scheme, EllipticCurvePoint, P256
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return ECDSAP256Scheme()
+
+
+@pytest.fixture(scope="module")
+def keypair(scheme):
+    return scheme.keygen(random.Random(42))
+
+
+class TestCurveArithmetic:
+    def test_generator_on_curve(self):
+        point = EllipticCurvePoint.generator(P256)
+        assert not point.is_infinity
+
+    def test_off_curve_point_rejected(self):
+        with pytest.raises(ValueError):
+            EllipticCurvePoint(P256, 1, 1)
+
+    def test_addition_identity(self):
+        g = EllipticCurvePoint.generator(P256)
+        infinity = EllipticCurvePoint.infinity(P256)
+        assert g + infinity == g
+        assert infinity + g == g
+
+    def test_point_plus_negation_is_infinity(self):
+        g = EllipticCurvePoint.generator(P256)
+        assert (g + (-g)).is_infinity
+
+    def test_doubling_matches_addition(self):
+        g = EllipticCurvePoint.generator(P256)
+        assert g + g == g * 2
+
+    def test_scalar_multiplication_distributes(self):
+        g = EllipticCurvePoint.generator(P256)
+        assert g * 5 == g * 2 + g * 3
+
+    def test_order_annihilates_generator(self):
+        g = EllipticCurvePoint.generator(P256)
+        assert (g * P256.n).is_infinity
+
+    def test_negative_scalar(self):
+        g = EllipticCurvePoint.generator(P256)
+        assert g * (-3) == -(g * 3)
+
+    def test_encode_decode_roundtrip(self):
+        point = EllipticCurvePoint.generator(P256) * 12345
+        assert EllipticCurvePoint.decode(P256, point.encode()) == point
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            EllipticCurvePoint.decode(P256, b"\x05" + b"\x00" * 64)
+
+    def test_known_vector_2g(self):
+        # 2*G for P-256 (public test vector)
+        g = EllipticCurvePoint.generator(P256)
+        double = g * 2
+        assert double.x == int(
+            "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978", 16
+        )
+        assert double.y == int(
+            "07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1", 16
+        )
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self, scheme, keypair):
+        private, public = keypair
+        signature = scheme.sign(private, b"hello world")
+        assert scheme.verify(public, b"hello world", signature)
+
+    def test_signature_is_64_bytes(self, scheme, keypair):
+        private, _ = keypair
+        assert len(scheme.sign(private, b"m")) == 64
+
+    def test_tampered_message_fails(self, scheme, keypair):
+        private, public = keypair
+        signature = scheme.sign(private, b"message")
+        assert not scheme.verify(public, b"messagf", signature)
+
+    def test_tampered_signature_fails(self, scheme, keypair):
+        private, public = keypair
+        signature = bytearray(scheme.sign(private, b"message"))
+        signature[10] ^= 0x01
+        assert not scheme.verify(public, b"message", bytes(signature))
+
+    def test_wrong_key_fails(self, scheme, keypair):
+        private, _ = keypair
+        _, other_public = scheme.keygen(random.Random(43))
+        signature = scheme.sign(private, b"message")
+        assert not scheme.verify(other_public, b"message", signature)
+
+    def test_rfc6979_determinism(self, scheme, keypair):
+        private, _ = keypair
+        assert scheme.sign(private, b"same") == scheme.sign(private, b"same")
+
+    def test_different_messages_different_signatures(self, scheme, keypair):
+        private, _ = keypair
+        assert scheme.sign(private, b"a") != scheme.sign(private, b"b")
+
+    def test_low_s_normalization(self, scheme, keypair):
+        private, _ = keypair
+        for message in (b"a", b"b", b"c", b"d"):
+            signature = scheme.sign(private, message)
+            s = int.from_bytes(signature[32:], "big")
+            assert s <= P256.n // 2
+
+    def test_malformed_signature_rejected(self, scheme, keypair):
+        _, public = keypair
+        assert not scheme.verify(public, b"m", b"short")
+        assert not scheme.verify(public, b"m", b"\x00" * 64)
+
+    def test_bad_public_key_rejected(self, scheme, keypair):
+        private, _ = keypair
+        signature = scheme.sign(private, b"m")
+        assert not scheme.verify(b"\x04" + b"\x01" * 64, b"m", signature)
+
+    def test_derive_public(self, scheme, keypair):
+        private, public = keypair
+        assert scheme.derive_public(private) == public
+
+    def test_keygen_deterministic_per_seed(self, scheme):
+        a = scheme.keygen(random.Random(7))
+        b = scheme.keygen(random.Random(7))
+        assert a == b

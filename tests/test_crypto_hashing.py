@@ -1,0 +1,60 @@
+"""Unit tests for canonical encoding and hashing."""
+
+import pytest
+
+from repro.crypto.hashing import canonical_encode, hash_iterable, sha256, sha256_hex
+
+
+class TestCanonicalEncode:
+    def test_primitives_roundtrip_distinctly(self):
+        values = [None, True, False, 0, 1, -1, 1.5, b"bytes", "str", [], {}]
+        encodings = [canonical_encode(v) for v in values]
+        assert len(set(encodings)) == len(values)
+
+    def test_int_and_str_not_confused(self):
+        assert canonical_encode(1) != canonical_encode("1")
+
+    def test_bytes_and_str_not_confused(self):
+        assert canonical_encode(b"a") != canonical_encode("a")
+
+    def test_bool_and_int_not_confused(self):
+        assert canonical_encode(True) != canonical_encode(1)
+
+    def test_list_no_concatenation_ambiguity(self):
+        assert canonical_encode(["ab", "c"]) != canonical_encode(["a", "bc"])
+
+    def test_nested_structures(self):
+        value = {"a": [1, 2, {"b": b"x"}], "c": None}
+        assert canonical_encode(value) == canonical_encode(value)
+
+    def test_dict_order_independent(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+    def test_tuple_equals_list(self):
+        assert canonical_encode((1, 2)) == canonical_encode([1, 2])
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+    def test_large_int(self):
+        big = 2**300
+        assert canonical_encode(big) != canonical_encode(big - 1)
+
+
+class TestSha256:
+    def test_digest_is_32_bytes(self):
+        assert len(sha256("x")) == 32
+
+    def test_deterministic(self):
+        assert sha256("a", 1, b"b") == sha256("a", 1, b"b")
+
+    def test_argument_boundaries_matter(self):
+        assert sha256(b"ab", b"c") != sha256(b"a", b"bc")
+
+    def test_hex_variant(self):
+        assert sha256_hex("x") == sha256("x").hex()
+
+    def test_hash_iterable(self):
+        assert hash_iterable([1, 2]) == sha256([1, 2])
+        assert hash_iterable([1, 2]) != hash_iterable([2, 1])

@@ -1,0 +1,137 @@
+"""Tests for envelopes, blocks and the ledger hash chain."""
+
+import pytest
+
+from repro.fabric.block import (
+    GENESIS_PREVIOUS_HASH,
+    Block,
+    BlockHeader,
+    compute_data_hash,
+    genesis_block,
+    make_block,
+)
+from repro.fabric.envelope import (
+    ChaincodeProposal,
+    Envelope,
+    ReadSet,
+    WriteSet,
+)
+from repro.fabric.ledger import Ledger, LedgerError
+
+
+def raw(size=100, channel="ch0"):
+    return Envelope.raw(channel, size)
+
+
+class TestEnvelope:
+    def test_raw_envelope_has_no_transaction(self):
+        envelope = raw()
+        assert envelope.transaction is None
+        assert envelope.payload_size == 100
+
+    def test_envelope_ids_unique(self):
+        assert raw().envelope_id != raw().envelope_id
+
+    def test_digest_distinct_per_envelope(self):
+        assert raw().digest() != raw().digest()
+
+    def test_digest_stable(self):
+        envelope = raw()
+        assert envelope.digest() == envelope.digest()
+
+    def test_proposal_digest_covers_fields(self):
+        base = dict(
+            channel_id="ch0", chaincode_id="cc", function="f",
+            args=("a",), client="alice", nonce=1,
+        )
+        p1 = ChaincodeProposal(**base)
+        p2 = ChaincodeProposal(**{**base, "nonce": 2})
+        p3 = ChaincodeProposal(**{**base, "args": ("b",)})
+        assert len({p1.digest(), p2.digest(), p3.digest()}) == 3
+
+    def test_rwset_digests(self):
+        r1 = ReadSet({"k": (0, 0)})
+        r2 = ReadSet({"k": (0, 1)})
+        assert r1.digest() != r2.digest()
+        w1 = WriteSet({"k": "v"})
+        w2 = WriteSet({"k": "w"})
+        assert w1.digest() != w2.digest()
+
+
+class TestBlock:
+    def test_make_block_data_hash(self):
+        envelopes = [raw(), raw()]
+        block = make_block(0, GENESIS_PREVIOUS_HASH, envelopes)
+        assert block.header.data_hash == compute_data_hash(envelopes)
+        assert block.verify_data()
+
+    def test_tampered_envelopes_detected(self):
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [raw(), raw()])
+        block.envelopes.append(raw())
+        assert not block.verify_data()
+
+    def test_header_digest_changes_with_number(self):
+        h1 = BlockHeader(0, GENESIS_PREVIOUS_HASH, b"\x01" * 32)
+        h2 = BlockHeader(1, GENESIS_PREVIOUS_HASH, b"\x01" * 32)
+        assert h1.digest() != h2.digest()
+
+    def test_wire_size_includes_payload_and_signatures(self):
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [raw(1000)])
+        empty = block.wire_size()
+        block.signatures["orderer0"] = b"\x00" * 64
+        assert block.wire_size() > empty
+        assert block.wire_size() > 1000
+
+    def test_genesis_block(self):
+        block = genesis_block("mychannel")
+        assert block.number == 0
+        assert block.envelopes[0].is_config
+        assert block.header.previous_hash == GENESIS_PREVIOUS_HASH
+
+
+class TestLedger:
+    def _chain(self, count=3):
+        ledger = Ledger("ch0")
+        for i in range(count):
+            ledger.append(make_block(i, ledger.last_hash, [raw()], "ch0"))
+        return ledger
+
+    def test_append_and_height(self):
+        ledger = self._chain(3)
+        assert ledger.height == 3
+        assert ledger.total_transactions() == 3
+
+    def test_chain_verifies(self):
+        assert self._chain(5).verify_chain()
+
+    def test_wrong_number_rejected(self):
+        ledger = self._chain(2)
+        with pytest.raises(LedgerError):
+            ledger.append(make_block(5, ledger.last_hash, [raw()]))
+
+    def test_broken_hash_chain_rejected(self):
+        ledger = self._chain(2)
+        with pytest.raises(LedgerError):
+            ledger.append(make_block(2, b"\xff" * 32, [raw()]))
+
+    def test_data_hash_mismatch_rejected(self):
+        ledger = self._chain(1)
+        block = make_block(1, ledger.last_hash, [raw()])
+        block.envelopes.append(raw())  # tamper after hashing
+        with pytest.raises(LedgerError):
+            ledger.append(block)
+
+    def test_forging_middle_block_breaks_verification(self):
+        """Figure 1's property: block j cannot be forged without
+        forging all subsequent blocks."""
+        ledger = self._chain(4)
+        ledger._blocks[1] = make_block(1, ledger._blocks[0].header.digest(), [raw()])
+        assert not ledger.verify_chain()
+
+    def test_get_and_iterate(self):
+        ledger = self._chain(3)
+        assert ledger.get(1).number == 1
+        assert [b.number for b in ledger] == [0, 1, 2]
+
+    def test_empty_ledger_last_hash_is_genesis(self):
+        assert Ledger().last_hash == GENESIS_PREVIOUS_HASH

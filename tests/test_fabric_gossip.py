@@ -1,0 +1,121 @@
+"""Tests for peer-to-peer block catch-up (gossip/deliver service)."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SimulatedECDSA
+from repro.fabric.block import make_block
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.committer import CommittingPeer
+from repro.fabric.envelope import Envelope
+from repro.sim import ConstantLatency, Network, Simulator
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.0005))
+    registry = KeyRegistry(scheme=SimulatedECDSA())
+    return sim, network, registry
+
+
+def make_peers(env, count=2):
+    sim, network, _registry = env
+    channel = ChannelConfig("ch0")
+    peers = []
+    for i in range(count):
+        peer = CommittingPeer(sim, network, f"peer{i}", channel)
+        network.register(f"peer{i}", peer)
+        peers.append(peer)
+    for a in peers:
+        for b in peers:
+            a.add_neighbor(b.name)
+    return peers
+
+
+def chain_blocks(count):
+    blocks = []
+    previous = b"\x00" * 32
+    for number in range(count):
+        block = make_block(number, previous, [Envelope.raw("ch0", 10)], "ch0")
+        previous = block.header.digest()
+        blocks.append(block)
+    return blocks
+
+
+class TestGossipCatchUp:
+    def test_lagging_peer_fetches_missing_blocks(self, env):
+        sim, network, _ = env
+        fast, slow = make_peers(env)
+        blocks = chain_blocks(5)
+        for block in blocks:
+            fast.receive_block(block)
+        # slow peer only sees the latest block (missed 0-3)
+        slow.receive_block(blocks[4])
+        sim.run(until=1.0)
+        assert slow.ledger.height == 5
+        assert slow.blocks_fetched >= 4
+        assert fast.blocks_served >= 4
+        assert slow.ledger.last_hash == fast.ledger.last_hash
+
+    def test_without_neighbors_gap_is_rejected(self, env):
+        sim, _network, _ = env
+        channel = ChannelConfig("ch0")
+        loner = CommittingPeer(sim, env[1], "loner", channel)
+        env[1].register("loner", loner)
+        blocks = chain_blocks(3)
+        loner.receive_block(blocks[2])
+        sim.run(until=1.0)
+        assert loner.ledger.height == 0
+        assert loner.rejected_blocks >= 1
+
+    def test_buffered_future_block_committed_after_catchup(self, env):
+        sim, _network, _ = env
+        fast, slow = make_peers(env)
+        blocks = chain_blocks(4)
+        for block in blocks[:3]:
+            fast.receive_block(block)
+        slow.receive_block(blocks[0])
+        # slow gets block 3 out of order: buffers it, fetches 1-2
+        slow.receive_block(blocks[3])
+        fast.receive_block(blocks[3])
+        sim.run(until=1.0)
+        assert slow.ledger.height == 4
+        assert slow.ledger.verify_chain()
+
+    def test_self_is_never_a_neighbor(self, env):
+        peers = make_peers(env, count=1)
+        assert peers[0].neighbors == []
+
+    def test_requests_for_other_channels_ignored(self, env):
+        sim, network, _ = env
+        fast, slow = make_peers(env)
+        for block in chain_blocks(2):
+            fast.receive_block(block)
+        from repro.fabric.api import BlockRequest
+
+        fast._serve_blocks(
+            BlockRequest(
+                channel_id="other", from_number=0, to_number=1, reply_to=slow.name
+            )
+        )
+        assert fast.blocks_served == 0
+
+    def test_end_to_end_peer_offline_then_catches_up(self, env):
+        """A peer misses blocks while crashed, then catches up from its
+        neighbor when the next live block arrives."""
+        sim, network, _ = env
+        fast, slow = make_peers(env)
+        blocks = chain_blocks(6)
+        for block in blocks[:2]:
+            fast.receive_block(block)
+            slow.receive_block(block)
+        network.crash(slow.name)
+        for block in blocks[2:5]:
+            fast.receive_block(block)
+        network.recover(slow.name)
+        fast.receive_block(blocks[5])
+        slow.receive_block(blocks[5])  # live delivery resumes
+        sim.run(until=1.0)
+        assert slow.ledger.height == 6
+        assert slow.ledger.last_hash == fast.ledger.last_hash

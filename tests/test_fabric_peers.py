@@ -1,0 +1,173 @@
+"""Tests for endorsing peers, committing peers and the client SDK."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SimulatedECDSA
+from repro.fabric.api import BlockDelivery
+from repro.fabric.block import GENESIS_PREVIOUS_HASH, make_block
+from repro.fabric.chaincode import AssetTransferChaincode, KVChaincode
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.committer import CommittingPeer, ValidationCode
+from repro.fabric.endorser import EndorsingPeer
+from repro.fabric.envelope import ChaincodeProposal, Envelope
+from repro.fabric.policy import SignedBy
+from repro.sim import ConstantLatency, Network, Simulator
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.0005))
+    registry = KeyRegistry(scheme=SimulatedECDSA())
+    return sim, network, registry
+
+
+def make_endorser(network, registry, name="endorser1", org="org1", acl=None):
+    identity = registry.enroll(name, org=org)
+    from repro.fabric.statedb import VersionedKVStore
+
+    store = VersionedKVStore()
+    peer = EndorsingPeer(
+        network,
+        name,
+        identity,
+        state_provider=lambda _ch: store,
+        chaincodes={"kv": KVChaincode(), "asset-transfer": AssetTransferChaincode()},
+        acl=acl,
+    )
+    return peer, store
+
+
+def proposal(client="alice", fn="put", args=("k", "v"), chaincode="kv", nonce=0):
+    return ChaincodeProposal(
+        channel_id="ch0",
+        chaincode_id=chaincode,
+        function=fn,
+        args=args,
+        client=client,
+        nonce=nonce,
+    )
+
+
+class TestEndorsingPeer:
+    def test_successful_endorsement(self, env):
+        _sim, network, registry = env
+        peer, _store = make_endorser(network, registry)
+        response = peer.endorse(proposal())
+        assert response.success
+        assert response.write_set.writes == {"k": "v"}
+        assert registry.verifier_of("endorser1").verify(
+            response.signed_payload(), response.signature
+        )
+
+    def test_chaincode_error_becomes_failure(self, env):
+        _sim, network, registry = env
+        peer, _store = make_endorser(network, registry)
+        response = peer.endorse(proposal(fn="delete", args=("ghost",)))
+        assert not response.success
+        assert peer.rejections == 1
+
+    def test_unknown_chaincode_rejected(self, env):
+        _sim, network, registry = env
+        peer, _store = make_endorser(network, registry)
+        response = peer.endorse(proposal(chaincode="nope"))
+        assert not response.success
+
+    def test_acl_enforced(self, env):
+        _sim, network, registry = env
+        peer, _store = make_endorser(network, registry, acl={"authorized"})
+        denied = peer.endorse(proposal(client="intruder"))
+        assert not denied.success
+        allowed = peer.endorse(proposal(client="authorized", nonce=1))
+        assert allowed.success
+
+    def test_endorsement_does_not_touch_state(self, env):
+        _sim, network, registry = env
+        peer, store = make_endorser(network, registry)
+        peer.endorse(proposal())
+        assert len(store) == 0
+
+    def test_reads_see_committed_state(self, env):
+        _sim, network, registry = env
+        peer, store = make_endorser(network, registry)
+        store.apply_write("k", "committed", (1, 0))
+        response = peer.endorse(proposal(fn="get", args=("k",)))
+        assert response.result == "committed"
+        assert response.read_set.reads == {"k": (1, 0)}
+
+
+class TestCommittingPeer:
+    def _committer(self, env, required_sigs=0):
+        sim, network, registry = env
+        config = ChannelConfig("ch0", endorsement_policy=SignedBy("org1"))
+        peer = CommittingPeer(
+            sim,
+            network,
+            "peer0",
+            config,
+            registry=registry,
+            required_block_signatures=required_sigs,
+        )
+        network.register("peer0", peer)
+        return peer
+
+    def test_commits_raw_block(self, env):
+        peer = self._committer(env)
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 40)], "ch0")
+        peer.receive_block(block)
+        assert peer.ledger.height == 1
+        assert peer.commits[0].valid_count == 1
+
+    def test_duplicate_block_ignored(self, env):
+        peer = self._committer(env)
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 40)], "ch0")
+        peer.receive_block(block)
+        peer.receive_block(block)
+        assert peer.ledger.height == 1
+
+    def test_gap_rejected(self, env):
+        peer = self._committer(env)
+        orphan = make_block(5, b"\x01" * 32, [Envelope.raw("ch0", 40)], "ch0")
+        peer.receive_block(orphan)
+        assert peer.ledger.height == 0
+        assert peer.rejected_blocks == 1
+
+    def test_block_signature_requirement(self, env):
+        sim, network, registry = env
+        orderer = registry.enroll("orderer0", org="orderers")
+        peer = self._committer(env, required_sigs=1)
+        peer.orderer_names = {"orderer0"}
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 40)], "ch0")
+        peer.receive_block(block)  # unsigned: rejected
+        assert peer.ledger.height == 0
+        block.signatures["orderer0"] = orderer.sign(block.header.signing_payload())
+        peer.receive_block(block)
+        assert peer.ledger.height == 1
+
+    def test_forged_block_signature_rejected(self, env):
+        sim, network, registry = env
+        registry.enroll("orderer0", org="orderers")
+        peer = self._committer(env, required_sigs=1)
+        peer.orderer_names = {"orderer0"}
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 40)], "ch0")
+        block.signatures["orderer0"] = b"\x00" * 64
+        peer.receive_block(block)
+        assert peer.ledger.height == 0
+
+    def test_on_commit_callback(self, env):
+        peer = self._committer(env)
+        seen = []
+        peer.on_commit.append(lambda record: seen.append(record.block.number))
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 40)], "ch0")
+        peer.receive_block(block)
+        assert seen == [0]
+
+    def test_block_delivery_message(self, env):
+        sim, network, _registry = env
+        peer = self._committer(env)
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 40)], "ch0")
+        network.register("sender", object())
+        network.send("sender", "peer0", BlockDelivery(block=block), 100)
+        sim.run()
+        assert peer.ledger.height == 1

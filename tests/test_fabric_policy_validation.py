@@ -1,0 +1,196 @@
+"""Tests for endorsement policies and block validation (VSCC + MVCC)."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SimulatedECDSA
+from repro.fabric.block import GENESIS_PREVIOUS_HASH, make_block
+from repro.fabric.committer import ValidationCode, validate_block
+from repro.fabric.envelope import (
+    ChaincodeProposal,
+    Endorsement,
+    Envelope,
+    ReadSet,
+    Transaction,
+    WriteSet,
+)
+from repro.fabric.policy import And, Or, OutOf, SignedBy
+from repro.fabric.statedb import VersionedKVStore
+
+
+class TestPolicies:
+    def test_signed_by(self):
+        policy = SignedBy("org1")
+        assert policy.satisfied_by({"org1", "org2"})
+        assert not policy.satisfied_by({"org2"})
+
+    def test_and(self):
+        policy = And(SignedBy("org1"), SignedBy("org2"))
+        assert policy.satisfied_by({"org1", "org2"})
+        assert not policy.satisfied_by({"org1"})
+
+    def test_or(self):
+        policy = Or(SignedBy("org1"), SignedBy("org2"))
+        assert policy.satisfied_by({"org2"})
+        assert not policy.satisfied_by({"org3"})
+
+    def test_out_of(self):
+        policy = OutOf(2, SignedBy("a"), SignedBy("b"), SignedBy("c"))
+        assert policy.satisfied_by({"a", "c"})
+        assert not policy.satisfied_by({"b"})
+
+    def test_nested(self):
+        policy = And(SignedBy("root"), Or(SignedBy("a"), SignedBy("b")))
+        assert policy.satisfied_by({"root", "b"})
+        assert not policy.satisfied_by({"a", "b"})
+
+    def test_required_orgs(self):
+        policy = OutOf(1, SignedBy("a"), And(SignedBy("b"), SignedBy("c")))
+        assert policy.required_orgs() == {"a", "b", "c"}
+
+    def test_out_of_validation(self):
+        with pytest.raises(ValueError):
+            OutOf(3, SignedBy("a"))
+        with pytest.raises(ValueError):
+            OutOf(0, SignedBy("a"))
+
+
+def _make_tx(registry, endorser_names, reads=None, writes=None, nonce=0):
+    proposal = ChaincodeProposal(
+        channel_id="ch0",
+        chaincode_id="cc",
+        function="f",
+        args=(),
+        client="alice",
+        nonce=nonce,
+    )
+    tx = Transaction(
+        proposal=proposal,
+        read_set=ReadSet(reads or {}),
+        write_set=WriteSet(writes or {}),
+        result="ok",
+        endorsements=[],
+    )
+    payload = tx.response_payload()
+    for name in endorser_names:
+        identity = registry.get(name)
+        tx.endorsements.append(
+            Endorsement(
+                endorser=name, org=identity.org, signature=identity.sign(payload)
+            )
+        )
+    return tx
+
+
+def _wrap(*txs):
+    envelopes = [
+        Envelope(channel_id="ch0", transaction=tx, payload_size=256) for tx in txs
+    ]
+    return make_block(0, GENESIS_PREVIOUS_HASH, envelopes, "ch0")
+
+
+@pytest.fixture
+def registry():
+    registry = KeyRegistry(scheme=SimulatedECDSA())
+    registry.enroll("peer1", org="org1")
+    registry.enroll("peer2", org="org2")
+    return registry
+
+
+@pytest.fixture
+def state():
+    store = VersionedKVStore()
+    store.apply_write("k", "v0", (0, 0))
+    return store
+
+
+POLICY = Or(SignedBy("org1"), SignedBy("org2"))
+
+
+def codes_of(block, state, registry, policy=POLICY):
+    return validate_block(block, state, lambda _e: policy, registry)
+
+
+class TestValidateBlock:
+    def test_valid_transaction(self, registry, state):
+        tx = _make_tx(registry, ["peer1"], reads={"k": (0, 0)}, writes={"k": "v1"})
+        codes = codes_of(_wrap(tx), state, registry)
+        assert codes == [ValidationCode.VALID]
+
+    def test_policy_failure_when_wrong_org(self, registry, state):
+        tx = _make_tx(registry, ["peer1"])
+        codes = codes_of(_wrap(tx), state, registry, policy=And(SignedBy("org1"), SignedBy("org2")))
+        assert codes == [ValidationCode.ENDORSEMENT_POLICY_FAILURE]
+
+    def test_bad_signature_detected(self, registry, state):
+        tx = _make_tx(registry, ["peer1"])
+        tx.endorsements[0].signature = b"\x00" * 64
+        codes = codes_of(_wrap(tx), state, registry)
+        assert codes == [ValidationCode.BAD_SIGNATURE]
+
+    def test_signature_over_different_rwset_rejected(self, registry, state):
+        """An endorsement signature must cover the rw-sets actually in
+        the transaction -- swapping the write set invalidates it."""
+        tx = _make_tx(registry, ["peer1"], writes={"k": "v1"})
+        tx.write_set = WriteSet({"k": "evil"})
+        codes = codes_of(_wrap(tx), state, registry)
+        assert codes == [ValidationCode.BAD_SIGNATURE]
+
+    def test_mvcc_stale_read_rejected(self, registry, state):
+        tx = _make_tx(registry, ["peer1"], reads={"k": (0, 5)})  # wrong version
+        codes = codes_of(_wrap(tx), state, registry)
+        assert codes == [ValidationCode.MVCC_READ_CONFLICT]
+
+    def test_mvcc_read_of_missing_key(self, registry, state):
+        tx = _make_tx(registry, ["peer1"], reads={"ghost": None})
+        codes = codes_of(_wrap(tx), state, registry)
+        assert codes == [ValidationCode.VALID]  # None == still absent
+
+    def test_mvcc_phantom_appearance_rejected(self, registry, state):
+        state.apply_write("ghost", "now-exists", (0, 1))
+        tx = _make_tx(registry, ["peer1"], reads={"ghost": None})
+        codes = codes_of(_wrap(tx), state, registry)
+        assert codes == [ValidationCode.MVCC_READ_CONFLICT]
+
+    def test_intra_block_conflict(self, registry, state):
+        """Two transactions in one block read-modify-write the same
+        key: the first wins, the second is invalidated."""
+        tx1 = _make_tx(registry, ["peer1"], reads={"k": (0, 0)}, writes={"k": "a"}, nonce=1)
+        tx2 = _make_tx(registry, ["peer2"], reads={"k": (0, 0)}, writes={"k": "b"}, nonce=2)
+        codes = codes_of(_wrap(tx1, tx2), state, registry)
+        assert codes == [ValidationCode.VALID, ValidationCode.MVCC_READ_CONFLICT]
+
+    def test_intra_block_independent_keys_both_valid(self, registry, state):
+        state.apply_write("k2", "x", (0, 1))
+        tx1 = _make_tx(registry, ["peer1"], reads={"k": (0, 0)}, writes={"k": "a"}, nonce=1)
+        tx2 = _make_tx(registry, ["peer2"], reads={"k2": (0, 1)}, writes={"k2": "b"}, nonce=2)
+        codes = codes_of(_wrap(tx1, tx2), state, registry)
+        assert codes == [ValidationCode.VALID, ValidationCode.VALID]
+
+    def test_duplicate_txid_rejected(self, registry, state):
+        tx = _make_tx(registry, ["peer1"])
+        seen = set()
+        block1 = _wrap(tx)
+        validate_block(block1, state, lambda _e: POLICY, registry, seen)
+        codes = validate_block(block1, state, lambda _e: POLICY, registry, seen)
+        assert codes == [ValidationCode.DUPLICATE_TXID]
+
+    def test_raw_envelopes_always_valid(self, registry, state):
+        block = make_block(0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 40)], "ch0")
+        codes = codes_of(block, state, registry)
+        assert codes == [ValidationCode.VALID]
+
+    def test_blind_trust_without_registry(self, state):
+        """Without a registry, endorsements are taken at face value
+        (useful for pure-throughput benchmarks)."""
+        registry = KeyRegistry(scheme=SimulatedECDSA())
+        registry.enroll("peer1", org="org1")
+        tx = _make_tx(registry, ["peer1"])
+        block = _wrap(tx)
+        codes = validate_block(block, state, lambda _e: POLICY, registry=None)
+        assert codes == [ValidationCode.VALID]
+
+    def test_validation_is_pure(self, registry, state):
+        tx = _make_tx(registry, ["peer1"], reads={"k": (0, 0)}, writes={"k": "v1"})
+        codes_of(_wrap(tx), state, registry)
+        assert state.get_value("k") == "v0"  # untouched

@@ -1,0 +1,217 @@
+"""Tests for the versioned state DB and chaincode execution."""
+
+import pytest
+
+from repro.fabric.chaincode import (
+    AssetTransferChaincode,
+    ChaincodeError,
+    ChaincodeStub,
+    KVChaincode,
+    SmallBankChaincode,
+)
+from repro.fabric.statedb import VersionedKVStore
+
+
+@pytest.fixture
+def store():
+    return VersionedKVStore()
+
+
+class TestVersionedKVStore:
+    def test_get_missing_returns_none(self, store):
+        assert store.get("nope") is None
+        assert store.get_value("nope") is None
+        assert store.version_of("nope") is None
+
+    def test_apply_write_sets_version(self, store):
+        store.apply_write("k", "v", (3, 7))
+        assert store.get_value("k") == "v"
+        assert store.version_of("k") == (3, 7)
+
+    def test_none_value_deletes(self, store):
+        store.apply_write("k", "v", (0, 0))
+        store.apply_write("k", None, (1, 0))
+        assert "k" not in store
+
+    def test_apply_write_set(self, store):
+        store.apply_write_set({"a": 1, "b": 2}, (0, 0))
+        assert store.get_value("a") == 1
+        assert store.get_value("b") == 2
+
+    def test_height_tracks_max_version(self, store):
+        store.apply_write("a", 1, (2, 5))
+        store.apply_write("b", 1, (1, 9))
+        assert store.height == (2, 5)
+
+    def test_range_query(self, store):
+        for key in ("a/1", "a/2", "b/1"):
+            store.apply_write(key, key, (0, 0))
+        result = store.range("a/", "a/￿")
+        assert [k for k, _v in result] == ["a/1", "a/2"]
+
+    def test_snapshot_restore(self, store):
+        store.apply_write("k", {"x": 1}, (4, 2))
+        snapshot = store.snapshot()
+        other = VersionedKVStore()
+        other.restore(snapshot)
+        assert other.get_value("k") == {"x": 1}
+        assert other.version_of("k") == (4, 2)
+        assert other.height == (4, 2)
+
+
+class TestChaincodeStub:
+    def test_read_records_version(self, store):
+        store.apply_write("k", "v", (1, 2))
+        stub = ChaincodeStub(store)
+        assert stub.get_state("k") == "v"
+        assert stub.read_set.reads == {"k": (1, 2)}
+
+    def test_read_missing_records_none(self, store):
+        stub = ChaincodeStub(store)
+        assert stub.get_state("nope") is None
+        assert stub.read_set.reads == {"nope": None}
+
+    def test_writes_buffered_not_applied(self, store):
+        stub = ChaincodeStub(store)
+        stub.put_state("k", "v")
+        assert store.get("k") is None
+        assert stub.write_set.writes == {"k": "v"}
+
+    def test_read_your_own_writes(self, store):
+        stub = ChaincodeStub(store)
+        stub.put_state("k", "mine")
+        assert stub.get_state("k") == "mine"
+        # a write-then-read does not add a version to the read set
+        assert "k" not in stub.read_set.reads
+
+    def test_delete_buffers_none(self, store):
+        store.apply_write("k", "v", (0, 0))
+        stub = ChaincodeStub(store)
+        stub.del_state("k")
+        assert stub.write_set.writes == {"k": None}
+
+    def test_range_includes_pending_writes(self, store):
+        store.apply_write("a/1", "committed", (0, 0))
+        stub = ChaincodeStub(store)
+        stub.put_state("a/2", "pending")
+        result = stub.get_range("a/", "a/￿")
+        assert result == {"a/1": "committed", "a/2": "pending"}
+
+    def test_first_read_version_sticks(self, store):
+        store.apply_write("k", "v", (1, 1))
+        stub = ChaincodeStub(store)
+        stub.get_state("k")
+        stub.get_state("k")
+        assert stub.read_set.reads == {"k": (1, 1)}
+
+
+class TestKVChaincode:
+    def test_put_get(self, store):
+        chaincode = KVChaincode()
+        stub = ChaincodeStub(store)
+        assert chaincode.invoke(stub, "put", ("k", "v")) == "OK"
+        assert stub.get_state("k") == "v"
+
+    def test_increment(self, store):
+        chaincode = KVChaincode()
+        stub = ChaincodeStub(store)
+        assert chaincode.invoke(stub, "increment", ("c",)) == 1
+        assert chaincode.invoke(stub, "increment", ("c", 5)) == 6
+
+    def test_delete_missing_raises(self, store):
+        chaincode = KVChaincode()
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(ChaincodeStub(store), "delete", ("ghost",))
+
+    def test_unknown_function_raises(self, store):
+        with pytest.raises(ChaincodeError):
+            KVChaincode().invoke(ChaincodeStub(store), "explode", ())
+
+
+class TestAssetTransfer:
+    @pytest.fixture
+    def chaincode(self):
+        return AssetTransferChaincode()
+
+    def _commit(self, store, stub):
+        store.apply_write_set(stub.write_set.writes, (0, 0))
+
+    def test_create_and_read(self, store, chaincode):
+        stub = ChaincodeStub(store)
+        asset = chaincode.invoke(stub, "create", ("car1", "alice", 100))
+        assert asset == {"id": "car1", "owner": "alice", "value": 100}
+        self._commit(store, stub)
+        stub2 = ChaincodeStub(store)
+        assert chaincode.invoke(stub2, "read", ("car1",))["owner"] == "alice"
+
+    def test_create_duplicate_rejected(self, store, chaincode):
+        stub = ChaincodeStub(store)
+        chaincode.invoke(stub, "create", ("car1", "alice", 100))
+        self._commit(store, stub)
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(ChaincodeStub(store), "create", ("car1", "bob", 1))
+
+    def test_transfer_checks_owner(self, store, chaincode):
+        stub = ChaincodeStub(store)
+        chaincode.invoke(stub, "create", ("car1", "alice", 100))
+        self._commit(store, stub)
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(
+                ChaincodeStub(store), "transfer", ("car1", "mallory", "bob")
+            )
+
+    def test_transfer_updates_owner(self, store, chaincode):
+        stub = ChaincodeStub(store)
+        chaincode.invoke(stub, "create", ("car1", "alice", 100))
+        self._commit(store, stub)
+        stub2 = ChaincodeStub(store)
+        updated = chaincode.invoke(stub2, "transfer", ("car1", "alice", "bob"))
+        assert updated["owner"] == "bob"
+
+    def test_read_missing_raises(self, store, chaincode):
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(ChaincodeStub(store), "read", ("ghost",))
+
+    def test_list_assets(self, store, chaincode):
+        stub = ChaincodeStub(store)
+        chaincode.invoke(stub, "create", ("a", "x", 1))
+        chaincode.invoke(stub, "create", ("b", "y", 2))
+        listing = chaincode.invoke(stub, "list", ())
+        assert len(listing) == 2
+
+
+class TestSmallBank:
+    @pytest.fixture
+    def chaincode(self):
+        return SmallBankChaincode()
+
+    def _open(self, store, chaincode, account, balance):
+        stub = ChaincodeStub(store)
+        chaincode.invoke(stub, "open", (account, balance))
+        store.apply_write_set(stub.write_set.writes, (0, 0))
+
+    def test_open_and_balance(self, store, chaincode):
+        self._open(store, chaincode, "alice", 100)
+        assert chaincode.invoke(ChaincodeStub(store), "balance", ("alice",)) == 100
+
+    def test_transfer_moves_funds(self, store, chaincode):
+        self._open(store, chaincode, "alice", 100)
+        self._open(store, chaincode, "bob", 50)
+        stub = ChaincodeStub(store)
+        result = chaincode.invoke(stub, "transfer", ("alice", "bob", 30))
+        assert result == {"alice": 70, "bob": 80}
+
+    def test_overdraft_rejected(self, store, chaincode):
+        self._open(store, chaincode, "alice", 10)
+        self._open(store, chaincode, "bob", 0)
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(ChaincodeStub(store), "transfer", ("alice", "bob", 30))
+
+    def test_deposit(self, store, chaincode):
+        self._open(store, chaincode, "alice", 10)
+        assert chaincode.invoke(ChaincodeStub(store), "deposit", ("alice", 5)) == 15
+
+    def test_double_open_rejected(self, store, chaincode):
+        self._open(store, chaincode, "alice", 10)
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(ChaincodeStub(store), "open", ("alice", 1))

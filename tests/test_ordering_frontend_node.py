@@ -1,0 +1,238 @@
+"""Unit tests for the frontend (BFT shim) and the ordering node."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SimulatedECDSA
+from repro.fabric.api import BlockDelivery, SubmitEnvelope
+from repro.fabric.block import GENESIS_PREVIOUS_HASH, make_block
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.envelope import Envelope
+from repro.ordering.frontend import Frontend
+from repro.ordering.node import BFTOrderingNode, TimeToCut
+from repro.sim import ConstantLatency, Network, Simulator
+from repro.smart.messages import ClientRequest
+from repro.smart.proxy import ServiceProxy
+from repro.smart.view import View
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.0005))
+    registry = KeyRegistry(scheme=SimulatedECDSA())
+    return sim, network, registry
+
+
+def make_frontend(env, f=1, verify=False, orderers=("o0", "o1", "o2", "o3")):
+    sim, network, registry = env
+    view = View(0, (0, 1, 2, 3), f)
+    proxy = ServiceProxy(sim, network, 1000, view, register=False)
+    frontend = Frontend(
+        sim, network, 1000, proxy, f=f,
+        registry=registry,
+        orderer_names=set(orderers),
+        verify_signatures=verify,
+    )
+    network.register(1000, frontend)
+    return frontend
+
+
+def signed_copy(block_args, signer_identity):
+    block = make_block(*block_args)
+    block.signatures[signer_identity.name] = signer_identity.sign(
+        block.header.signing_payload()
+    )
+    return block
+
+
+class TestFrontendMatching:
+    def test_delivers_after_2f_plus_1_matching(self, env):
+        frontend = make_frontend(env)
+        envelopes = [Envelope.raw("ch0", 10)]
+        args = (0, GENESIS_PREVIOUS_HASH, envelopes, "ch0")
+        for source in ("o0", "o1"):
+            frontend._on_block_copy(source, make_block(*args))
+        assert frontend.blocks_delivered == 0
+        frontend._on_block_copy("o2", make_block(*args))
+        assert frontend.blocks_delivered == 1
+
+    def test_mismatched_copies_do_not_count(self, env):
+        frontend = make_frontend(env)
+        good = (0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 10)], "ch0")
+        bad = (0, b"\x01" * 32, [Envelope.raw("ch0", 20)], "ch0")
+        frontend._on_block_copy("o0", make_block(*good))
+        frontend._on_block_copy("o1", make_block(*bad))
+        frontend._on_block_copy("o2", make_block(*bad))
+        assert frontend.blocks_delivered == 0
+
+    def test_duplicate_copies_from_same_node_count_once(self, env):
+        frontend = make_frontend(env)
+        args = (0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 10)], "ch0")
+        for _ in range(5):
+            frontend._on_block_copy("o0", make_block(*args))
+        assert frontend.blocks_delivered == 0
+
+    def test_copies_from_unknown_sources_ignored(self, env):
+        frontend = make_frontend(env)
+        args = (0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 10)], "ch0")
+        for source in ("evil1", "evil2", "evil3"):
+            frontend._on_block_copy(source, make_block(*args))
+        assert frontend.blocks_delivered == 0
+
+    def test_out_of_order_completion_delivered_in_order(self, env):
+        frontend = make_frontend(env)
+        delivered = []
+        frontend.on_block.append(lambda b: delivered.append(b.number))
+        envelopes0 = [Envelope.raw("ch0", 10)]
+        block0 = make_block(0, GENESIS_PREVIOUS_HASH, envelopes0, "ch0")
+        block1 = make_block(1, block0.header.digest(), [Envelope.raw("ch0", 11)], "ch0")
+        # block 1 completes matching first
+        for source in ("o0", "o1", "o2"):
+            frontend._on_block_copy(source, block1)
+        assert delivered == []
+        for source in ("o0", "o1", "o2"):
+            frontend._on_block_copy(source, block0)
+        assert delivered == [0, 1]
+
+    def test_merged_signatures(self, env):
+        sim, network, registry = env
+        identities = [registry.enroll(f"o{i}", org="ord") for i in range(4)]
+        frontend = make_frontend(env)
+        delivered = []
+        frontend.on_block.append(delivered.append)
+        args = (0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 10)], "ch0")
+        for identity in identities[:3]:
+            frontend._on_block_copy(identity.name, signed_copy(args, identity))
+        assert len(delivered) == 1
+        assert len(delivered[0].signatures) == 3
+
+    def test_verify_mode_needs_only_f_plus_1(self, env):
+        sim, network, registry = env
+        identities = [registry.enroll(f"o{i}", org="ord") for i in range(4)]
+        frontend = make_frontend(env, verify=True)
+        args = (0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 10)], "ch0")
+        frontend._on_block_copy("o0", signed_copy(args, identities[0]))
+        assert frontend.blocks_delivered == 0
+        frontend._on_block_copy("o1", signed_copy(args, identities[1]))
+        assert frontend.blocks_delivered == 1
+
+    def test_verify_mode_rejects_unsigned(self, env):
+        sim, network, registry = env
+        for i in range(4):
+            registry.enroll(f"o{i}", org="ord")
+        frontend = make_frontend(env, verify=True)
+        args = (0, GENESIS_PREVIOUS_HASH, [Envelope.raw("ch0", 10)], "ch0")
+        for source in ("o0", "o1", "o2"):
+            frontend._on_block_copy(source, make_block(*args))  # no signatures
+        assert frontend.blocks_delivered == 0
+
+    def test_submit_envelope_message_relayed(self, env):
+        sim, network, _registry = env
+        view = View(0, (0, 1, 2, 3), 1)
+
+        received = []
+
+        class FakeReplica:
+            def __init__(self, i):
+                self.i = i
+
+            def deliver(self, src, message):
+                received.append((self.i, message))
+
+        for i in range(4):
+            network.register(i, FakeReplica(i))
+        proxy = ServiceProxy(sim, network, 1000, view, register=False)
+        frontend = Frontend(sim, network, 1000, proxy, f=1)
+        network.register(1000, frontend)
+        network.register("client", object())
+        envelope = Envelope.raw("ch0", 33)
+        network.send("client", 1000, SubmitEnvelope(envelope), 100)
+        sim.run()
+        assert frontend.envelopes_submitted == 1
+        assert len(received) == 4
+        assert all(
+            isinstance(message, ClientRequest) and message.operation is envelope
+            for _i, message in received
+        )
+
+
+class TestOrderingNode:
+    def _node(self, env, max_count=3, name="orderer0"):
+        sim, network, registry = env
+        identity = registry.enroll(name, org="ord")
+        channel = ChannelConfig("ch0", max_message_count=max_count)
+        node = BFTOrderingNode(
+            sim, network, name, identity, channels={"ch0": channel}
+        )
+        return node
+
+    def _request(self, operation, seq=0):
+        return ClientRequest(client_id=77, sequence=seq, operation=operation)
+
+    def test_blocks_created_deterministically(self, env):
+        node_a = self._node(env, name="a")
+        node_b = self._node(env, name="b")
+        stream = [Envelope.raw("ch0", 16) for _ in range(7)]
+        for cid, envelope in enumerate(stream):
+            for node in (node_a, node_b):
+                node.execute_batch(cid, [self._request(envelope, cid)], 0)
+        state_a = node_a.get_state()["ch0"]
+        state_b = node_b.get_state()["ch0"]
+        assert state_a["next_number"] == state_b["next_number"] == 2
+        assert state_a["previous_hash"] == state_b["previous_hash"]
+
+    def test_acks_returned_per_request(self, env):
+        node = self._node(env)
+        envelope = Envelope.raw("ch0", 16)
+        results = node.execute_batch(0, [self._request(envelope)], 0)
+        assert results == [{"status": "ACK", "channel": "ch0"}]
+
+    def test_unknown_channel_ack(self, env):
+        node = self._node(env)
+        envelope = Envelope.raw("elsewhere", 16)
+        results = node.execute_batch(0, [self._request(envelope)], 0)
+        assert results[0]["status"] == "NO_SUCH_CHANNEL"
+
+    def test_bad_operation_rejected(self, env):
+        node = self._node(env)
+        results = node.execute_batch(0, [self._request("not-an-envelope")], 0)
+        assert results[0]["status"] == "BAD_REQUEST"
+
+    def test_snapshot_rollback_restores_cutter_and_chain(self, env):
+        node = self._node(env, max_count=10)
+        for seq in range(3):
+            node.execute_batch(seq, [self._request(Envelope.raw("ch0", 8), seq)], 0)
+        token = node.snapshot()
+        pre_state = node.get_state()["ch0"]
+        node.execute_batch(3, [self._request(Envelope.raw("ch0", 8), 3)], 0)
+        assert len(node._channels["ch0"].cutter) == 4
+        node.rollback(token)
+        post_state = node.get_state()["ch0"]
+        assert len(node._channels["ch0"].cutter) == 3
+        assert post_state["previous_hash"] == pre_state["previous_hash"]
+
+    def test_stale_ttc_ignored(self, env):
+        node = self._node(env, max_count=2)
+        for seq in range(2):  # cuts block 0
+            node.execute_batch(seq, [self._request(Envelope.raw("ch0", 8), seq)], 0)
+        assert node.blocks_created == 1
+        result = node.execute_batch(2, [self._request(TimeToCut("ch0", 0), 2)], 0)
+        assert result[0]["status"] == "STALE_TTC"
+        assert node.blocks_created == 1
+
+    def test_fresh_ttc_cuts(self, env):
+        node = self._node(env, max_count=10)
+        node.execute_batch(0, [self._request(Envelope.raw("ch0", 8), 0)], 0)
+        result = node.execute_batch(1, [self._request(TimeToCut("ch0", 0), 1)], 0)
+        assert result[0]["status"] == "CUT"
+        assert node.blocks_created == 1
+
+    def test_frontend_registration(self, env):
+        node = self._node(env)
+        node.register_frontend(1000)
+        node.register_frontend(1000)
+        node.register_frontend(1001)
+        assert node.frontends == [1000, 1001]
+        node.unregister_frontend(1000)
+        assert node.frontends == [1001]

@@ -1,0 +1,208 @@
+"""Integration tests for the complete BFT ordering service."""
+
+import pytest
+
+from repro.fabric.block import Block
+from repro.fabric.api import BlockDelivery
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.envelope import Envelope
+from repro.ordering import OrderingServiceConfig, build_ordering_service
+
+
+def build(max_count=10, num_frontends=1, enable_ttc=False, cores=None, **kwargs):
+    config = OrderingServiceConfig(
+        f=1,
+        channel=ChannelConfig("ch0", max_message_count=max_count, batch_timeout=0.5),
+        num_frontends=num_frontends,
+        physical_cores=cores,
+        enable_batch_timeout=enable_ttc,
+        **kwargs,
+    )
+    return build_ordering_service(config)
+
+
+class TestBlockFlow:
+    def test_full_blocks_delivered(self):
+        service = build()
+        for _ in range(30):
+            service.submit(Envelope.raw("ch0", 512))
+        service.run(3.0)
+        assert service.frontends[0].blocks_delivered == 3
+        assert all(node.blocks_created == 3 for node in service.nodes)
+
+    def test_blocks_identical_across_nodes(self):
+        service = build()
+        for _ in range(20):
+            service.submit(Envelope.raw("ch0", 512))
+        service.run(3.0)
+        # every node produced the same header chain
+        states = [node.get_state()["ch0"] for node in service.nodes]
+        assert len({s["previous_hash"] for s in states}) == 1
+        assert len({s["next_number"] for s in states}) == 1
+
+    def test_multiple_frontends_see_same_blocks(self):
+        service = build(num_frontends=3)
+        for i in range(20):
+            service.submit(Envelope.raw("ch0", 256), frontend_index=i % 3)
+        service.run(3.0)
+        assert [f.blocks_delivered for f in service.frontends] == [2, 2, 2]
+
+    def test_partial_block_cut_by_timeout(self):
+        service = build(enable_ttc=True)
+        for _ in range(3):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(5.0)
+        assert service.frontends[0].blocks_delivered == 1
+        front = service.frontends[0]
+        meter = service.stats.meter(f"{front.name}.envelopes")
+        assert meter.total == 3
+
+    def test_blocks_signed_by_all_nodes_after_merge(self):
+        service = build()
+        collected = []
+        service.frontends[0].on_block.append(collected.append)
+        for _ in range(10):
+            service.submit(Envelope.raw("ch0", 64))
+        service.run(3.0)
+        assert len(collected) == 1
+        # 2f+1 matching copies merged: at least 3 signatures
+        assert len(collected[0].signatures) >= 3
+        payload = collected[0].header.signing_payload()
+        for name, signature in collected[0].signatures.items():
+            assert service.registry.verifier_of(name).verify(payload, signature)
+
+    def test_latency_recorded(self):
+        service = build()
+        for _ in range(10):
+            service.submit(Envelope.raw("ch0", 64))
+        service.run(3.0)
+        recorder = service.stats.latency(f"{service.frontends[0].name}.latency")
+        assert recorder.count == 10
+        assert recorder.median > 0
+
+    def test_envelopes_preserved_in_order_per_frontend_stream(self):
+        service = build(max_count=5)
+        submitted = [Envelope.raw("ch0", 64) for _ in range(15)]
+        delivered = []
+        service.frontends[0].on_block.append(
+            lambda block: delivered.extend(e.envelope_id for e in block.envelopes)
+        )
+        for envelope in submitted:
+            service.submit(envelope)
+        service.run(3.0)
+        assert delivered == [e.envelope_id for e in submitted]
+
+
+class TestFaultTolerance:
+    def test_one_crashed_node_does_not_stop_service(self):
+        service = build()
+        service.crash_node(3)  # non-leader
+        for _ in range(20):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(3.0)
+        assert service.frontends[0].blocks_delivered == 2
+
+    def test_crashed_leader_recovered_by_regency_change(self):
+        service = build(request_timeout=0.5)
+        for _ in range(10):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(2.0)
+        service.crash_node(0)
+        for _ in range(10):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(20.0)
+        assert service.frontends[0].blocks_delivered == 2
+
+    def test_byzantine_node_sending_wrong_blocks_outvoted(self):
+        """One ordering node disseminates corrupted blocks; frontends
+        still only accept the 2f+1-matching correct ones."""
+        service = build()
+
+        def corrupt(src, dst, payload):
+            if isinstance(payload, BlockDelivery) and payload.source == "orderer3":
+                bogus = Envelope.raw("ch0", 6666)
+                from repro.fabric.block import make_block
+
+                fake = make_block(
+                    payload.block.number, b"\x66" * 32, [bogus], "ch0"
+                )
+                fake.signatures["orderer3"] = b"\x00" * 64
+                return BlockDelivery(block=fake, source="orderer3")
+            return payload
+
+        service.network.add_filter(corrupt)
+        submitted = [Envelope.raw("ch0", 64) for _ in range(10)]
+        for envelope in submitted:
+            service.submit(envelope)
+        service.run(3.0)
+        assert service.frontends[0].blocks_delivered == 1
+        meter = service.stats.meter(f"{service.frontends[0].name}.envelopes")
+        assert meter.total == 10  # the real envelopes, not the bogus one
+
+    def test_frontend_with_signature_verification_needs_f_plus_1(self):
+        service = build(verify_block_signatures=True)
+        assert service.frontends[0].matching_copies_needed == 2
+        for _ in range(10):
+            service.submit(Envelope.raw("ch0", 64))
+        service.run(3.0)
+        assert service.frontends[0].blocks_delivered == 1
+
+    def test_forged_signature_rejected_in_verify_mode(self):
+        service = build(verify_block_signatures=True)
+
+        def forge(src, dst, payload):
+            if isinstance(payload, BlockDelivery):
+                payload.block.signatures[payload.source] = b"\x11" * 64
+            return payload
+
+        service.network.add_filter(forge)
+        for _ in range(10):
+            service.submit(Envelope.raw("ch0", 64))
+        service.run(3.0)
+        assert service.frontends[0].blocks_delivered == 0
+
+
+class TestSigningPipeline:
+    def test_cpu_model_limits_block_rate(self):
+        """With the CPU model on, signing consumes modeled core time."""
+        service = build(cores=8, max_count=1, sign_cost=0.05)
+        for _ in range(50):
+            service.submit(Envelope.raw("ch0", 64))
+        # 50 blocks x 50ms each = 2.5 core-seconds, ~240ms on 10.4
+        # effective cores: far from finished after 100ms
+        service.run(0.1)
+        delivered_early = service.frontends[0].blocks_delivered
+        service.run(5.0)
+        assert delivered_early < 50
+        assert service.frontends[0].blocks_delivered == 50
+
+    def test_double_sign_halves_throughput(self):
+        slow = build(cores=8, max_count=1, sign_cost=0.05, double_sign=True)
+        fast = build(cores=8, max_count=1, sign_cost=0.05, double_sign=False)
+        for service in (slow, fast):
+            for _ in range(50):
+                service.submit(Envelope.raw("ch0", 64))
+            service.run(0.15)
+        assert slow.frontends[0].blocks_delivered < fast.frontends[0].blocks_delivered
+
+
+class TestWheatService:
+    def test_wheat_deployment_orders(self):
+        config = OrderingServiceConfig(
+            f=1,
+            delta=1,
+            vmax_holders=(0, 1),
+            tentative_execution=True,
+            channel=ChannelConfig("ch0", max_message_count=10),
+            physical_cores=None,
+        )
+        service = build_ordering_service(config)
+        assert service.view.n == 5
+        for _ in range(20):
+            service.submit(Envelope.raw("ch0", 128))
+        service.run(3.0)
+        assert service.frontends[0].blocks_delivered == 2
+        assert any(
+            replica.counters.tentative_executions > 0
+            for replica in service.replicas
+        )

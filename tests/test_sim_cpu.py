@@ -1,0 +1,147 @@
+"""Unit tests for the CPU / thread-pool model."""
+
+import pytest
+
+from repro.sim import CPU, Simulator, ThreadPool
+
+
+@pytest.fixture
+def cpu(sim):
+    return CPU(sim, physical_cores=8, hardware_threads=16, ht_yield=1.3)
+
+
+class TestCapacity:
+    def test_single_task_full_speed(self, cpu):
+        assert cpu.capacity(1) == pytest.approx(1.0)
+
+    def test_linear_up_to_physical_cores(self, cpu):
+        assert cpu.capacity(8) == pytest.approx(8.0)
+
+    def test_hyperthreading_yield(self, cpu):
+        assert cpu.capacity(16) == pytest.approx(8 * 1.3)
+
+    def test_capacity_caps_at_hardware_threads(self, cpu):
+        assert cpu.capacity(100) == cpu.capacity(16)
+
+    def test_background_load_shrinks_capacity(self, sim):
+        cpu = CPU(sim)
+        cpu.set_background_load(0.5)
+        assert cpu.capacity(8) == pytest.approx(4.0)
+
+    def test_invalid_background_load(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.set_background_load(1.0)
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            CPU(sim, physical_cores=0)
+        with pytest.raises(ValueError):
+            CPU(sim, physical_cores=8, hardware_threads=4)
+        with pytest.raises(ValueError):
+            CPU(sim, ht_yield=2.5)
+
+
+class TestExecution:
+    def test_single_task_duration(self, sim, cpu):
+        future = cpu.submit(2.0)
+        sim.run()
+        assert future.done
+        assert sim.now == pytest.approx(2.0)
+
+    def test_zero_work_completes_immediately(self, sim, cpu):
+        future = cpu.submit(0.0)
+        sim.run()
+        assert future.done
+        assert sim.now == 0.0
+
+    def test_negative_work_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.submit(-1.0)
+
+    def test_parallel_tasks_share_cores(self, sim, cpu):
+        futures = [cpu.submit(1.0) for _ in range(8)]
+        sim.run()
+        assert all(f.done for f in futures)
+        assert sim.now == pytest.approx(1.0)  # 8 tasks, 8 cores
+
+    def test_oversubscription_slows_down(self, sim, cpu):
+        futures = [cpu.submit(1.0) for _ in range(16)]
+        sim.run()
+        assert all(f.done for f in futures)
+        # 16 core-seconds of work / 10.4 core capacity
+        assert sim.now == pytest.approx(16.0 / 10.4, rel=1e-6)
+
+    def test_queueing_beyond_hardware_threads(self, sim, cpu):
+        futures = [cpu.submit(1.0) for _ in range(32)]
+        assert cpu.queued_tasks == 16
+        sim.run()
+        assert all(f.done for f in futures)
+        assert sim.now == pytest.approx(2 * 16.0 / 10.4, rel=1e-6)
+
+    def test_throughput_matches_capacity(self, sim, cpu):
+        """Figure 6's premise: sustained rate = capacity / cost."""
+        cost = 0.001
+        done = [0]
+        for _ in range(20000):
+            cpu.submit(cost).add_callback(lambda _f: done.__setitem__(0, done[0] + 1))
+        sim.run(until=1.0)
+        assert done[0] == pytest.approx(10.4 / cost, rel=0.05)
+
+    def test_tasks_completed_counter(self, sim, cpu):
+        for _ in range(5):
+            cpu.submit(0.1)
+        sim.run()
+        assert cpu.tasks_completed == 5
+
+    def test_utilization(self, sim, cpu):
+        cpu.submit(1.0)
+        sim.run()
+        assert cpu.utilization(1.0) == pytest.approx(1.0 / 8.0)
+
+
+class TestThreadPool:
+    def test_pool_limits_concurrency(self, sim, cpu):
+        pool = ThreadPool(cpu, workers=2)
+        for _ in range(4):
+            pool.submit(1.0)
+        assert pool.in_flight == 2
+        assert pool.backlog == 2
+        sim.run()
+        assert pool.tasks_completed == 4
+        assert sim.now == pytest.approx(2.0)
+
+    def test_pool_callback(self, sim, cpu):
+        pool = ThreadPool(cpu, workers=1)
+        seen = []
+        pool.submit(0.5, seen.append, "done")
+        sim.run()
+        assert seen == ["done"]
+
+    def test_single_worker_serializes(self, sim, cpu):
+        pool = ThreadPool(cpu, workers=1)
+        for _ in range(3):
+            pool.submit(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+
+    def test_sixteen_workers_reach_ht_capacity(self, sim, cpu):
+        """The paper's 16 signing threads on 16 hardware threads."""
+        pool = ThreadPool(cpu, workers=16)
+        count = 2080  # 16 * 130
+        for _ in range(count):
+            pool.submit(0.01)
+        sim.run()
+        assert sim.now == pytest.approx(count * 0.01 / 10.4, rel=0.01)
+
+    def test_invalid_worker_count(self, cpu):
+        with pytest.raises(ValueError):
+            ThreadPool(cpu, workers=0)
+
+    def test_two_pools_compete_for_cpu(self, sim, cpu):
+        pool_a = ThreadPool(cpu, workers=8)
+        pool_b = ThreadPool(cpu, workers=8)
+        for _ in range(8):
+            pool_a.submit(1.0)
+            pool_b.submit(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(16.0 / 10.4, rel=1e-6)

@@ -1,0 +1,118 @@
+"""Unit tests for measurement instruments."""
+
+import math
+
+import pytest
+
+from repro.sim.monitor import Counter, LatencyRecorder, StatsRegistry, ThroughputMeter
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0
+
+    def test_increment(self):
+        counter = Counter()
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+
+class TestLatencyRecorder:
+    def test_empty_stats_are_nan(self):
+        recorder = LatencyRecorder()
+        assert math.isnan(recorder.mean)
+        assert math.isnan(recorder.median)
+
+    def test_mean(self):
+        recorder = LatencyRecorder()
+        recorder.extend([1.0, 2.0, 3.0])
+        assert recorder.mean == pytest.approx(2.0)
+
+    def test_median_odd(self):
+        recorder = LatencyRecorder()
+        recorder.extend([3.0, 1.0, 2.0])
+        assert recorder.median == pytest.approx(2.0)
+
+    def test_median_even_interpolates(self):
+        recorder = LatencyRecorder()
+        recorder.extend([1.0, 2.0, 3.0, 4.0])
+        assert recorder.median == pytest.approx(2.5)
+
+    def test_p90(self):
+        recorder = LatencyRecorder()
+        recorder.extend(float(i) for i in range(1, 11))
+        assert recorder.p90 == pytest.approx(9.1)
+
+    def test_percentile_bounds(self):
+        recorder = LatencyRecorder()
+        recorder.extend([5.0, 1.0])
+        assert recorder.percentile(0) == 1.0
+        assert recorder.percentile(100) == 5.0
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    def test_min_max(self):
+        recorder = LatencyRecorder()
+        recorder.extend([4.0, 2.0, 9.0])
+        assert recorder.minimum == 2.0
+        assert recorder.maximum == 9.0
+
+    def test_reset(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        recorder.reset()
+        assert recorder.count == 0
+        recorder.record(2.0)
+        assert recorder.median == 2.0
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        summary = recorder.summary()
+        assert set(summary) == {"count", "mean", "median", "p90", "min", "max"}
+
+
+class TestThroughputMeter:
+    def test_rate_over_window(self):
+        meter = ThroughputMeter()
+        for i in range(11):
+            meter.record(float(i), 10.0)
+        assert meter.rate() == pytest.approx(110.0 / 10.0)
+
+    def test_rate_with_explicit_window(self):
+        meter = ThroughputMeter()
+        for i in range(11):
+            meter.record(float(i), 1.0)
+        assert meter.rate(start=5.0, end=10.0) == pytest.approx(6.0 / 5.0)
+
+    def test_empty_meter_rate_zero(self):
+        assert ThroughputMeter().rate() == 0.0
+
+    def test_out_of_order_rejected(self):
+        meter = ThroughputMeter()
+        meter.record(2.0)
+        with pytest.raises(ValueError):
+            meter.record(1.0)
+
+    def test_total(self):
+        meter = ThroughputMeter()
+        meter.record(0.0, 5.0)
+        meter.record(1.0, 7.0)
+        assert meter.total == 12.0
+
+
+class TestStatsRegistry:
+    def test_same_name_same_instrument(self):
+        registry = StatsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.latency("y") is registry.latency("y")
+        assert registry.meter("z") is registry.meter("z")
+
+    def test_summary_contains_all(self):
+        registry = StatsRegistry()
+        registry.counter("c").increment()
+        registry.latency("l").record(1.0)
+        registry.meter("m").record(0.0, 1.0)
+        summary = registry.summary()
+        assert set(summary) == {"c", "l", "m"}

@@ -1,0 +1,149 @@
+"""Byzantine fault-injection tests for the replication layer.
+
+These exercise the attacks the BFT machinery exists to stop: an
+equivocating leader, forged value responses, fake votes from outside
+the view, and network partitions.
+"""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.smart.consensus import batch_hash
+from repro.smart.messages import Accept, ClientRequest, Propose, ValueResponse, Write
+from tests.conftest import Cluster
+
+
+class TestEquivocatingLeader:
+    def test_split_proposals_never_violate_safety(self):
+        """The leader sends different batches to different replicas.
+
+        No two correct replicas may execute different histories; the
+        system may stall (and recover via regency change) but must not
+        fork."""
+        cluster = Cluster(request_timeout=0.4)
+        proxy = cluster.proxy(invoke_timeout=4.0, max_retries=20)
+
+        flip = {"count": 0}
+
+        def equivocate(src, dst, payload):
+            # replica 0 (leader) sends a corrupted batch to replica 1
+            if isinstance(payload, Propose) and src == 0 and dst == 1:
+                fake_request = ClientRequest(
+                    client_id=666, sequence=flip["count"], operation=-999
+                )
+                flip["count"] += 1
+                fake_batch = [fake_request]
+                return Propose(
+                    sender=0,
+                    cid=payload.cid,
+                    regency=payload.regency,
+                    batch=fake_batch,
+                    value_hash=batch_hash(payload.cid, fake_batch),
+                )
+            return payload
+
+        cluster.network.add_filter(equivocate)
+        futures = [proxy.invoke(i + 1) for i in range(3)]
+        cluster.drain(futures, deadline=60.0)
+        # safety: every pair of replica histories is prefix-consistent
+        assert cluster.prefix_consistent()
+        # the poisoned value must never have been executed anywhere
+        for app in cluster.apps:
+            assert -999 not in app.history
+
+    def test_minority_write_equivocation_harmless(self):
+        """A Byzantine replica WRITE-votes different hashes to
+        different peers; quorum intersection stops any damage."""
+        cluster = Cluster(request_timeout=0.4)
+        proxy = cluster.proxy(invoke_timeout=4.0, max_retries=10)
+
+        def corrupt_writes(src, dst, payload):
+            if isinstance(payload, Write) and src == 3 and dst in (1, 2):
+                return Write(3, payload.cid, payload.regency, sha256("garbage"))
+            return payload
+
+        cluster.network.add_filter(corrupt_writes)
+        futures = [proxy.invoke(i + 1) for i in range(5)]
+        assert cluster.drain(futures, deadline=30.0)
+        assert cluster.prefix_consistent()
+        honest = [cluster.apps[i].history for i in (0, 1, 2)]
+        assert honest[0] == honest[1] == honest[2] == [1, 2, 3, 4, 5]
+
+
+class TestForgedMessages:
+    def test_forged_value_response_rejected(self):
+        """A lying replica answers a value fetch with a batch that does
+        not match the decided hash -- it must be discarded."""
+        cluster = Cluster()
+        replica = cluster.replicas[1]
+        fake_batch = [ClientRequest(client_id=9, sequence=0, operation=-1)]
+        response = ValueResponse(
+            sender=3, cid=0, value_hash=sha256("not-the-real-hash"), batch=fake_batch
+        )
+        replica.deliver(3, response)
+        cluster.run(0.5)
+        assert cluster.apps[1].total == 0
+
+    def test_votes_from_outside_view_ignored(self):
+        cluster = Cluster()
+        replica = cluster.replicas[0]
+        inst = replica.instance(0)
+        value_hash = sha256("whatever")
+        for fake_sender in (100, 101, 102):
+            replica.deliver(fake_sender, Accept(fake_sender, 0, 0, value_hash))
+        cluster.run(0.5)
+        assert not inst.decided
+
+    def test_propose_from_non_leader_ignored(self):
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        batch = [ClientRequest(client_id=9, sequence=0, operation=-5)]
+        rogue = Propose(
+            sender=2,  # not the regency-0 leader
+            cid=0,
+            regency=0,
+            batch=batch,
+            value_hash=batch_hash(0, batch),
+        )
+        for replica in cluster.replicas:
+            if replica.replica_id != 2:
+                replica.deliver(2, rogue)
+        cluster.run(1.0)
+        assert all(app.total == 0 for app in cluster.apps)
+
+    def test_bad_batch_hash_in_propose_rejected(self):
+        cluster = Cluster()
+        batch = [ClientRequest(client_id=9, sequence=0, operation=7)]
+        bogus = Propose(
+            sender=0, cid=0, regency=0, batch=batch, value_hash=sha256("lies")
+        )
+        cluster.replicas[1].deliver(0, bogus)
+        cluster.run(0.5)
+        inst = cluster.replicas[1].instances.get(0)
+        assert inst is None or 0 not in inst.write_sent
+
+
+class TestPartitions:
+    def test_minority_partition_stalls_then_recovers(self):
+        cluster = Cluster(request_timeout=0.4)
+        proxy = cluster.proxy(invoke_timeout=3.0, max_retries=30)
+        assert cluster.drain([proxy.invoke(1)])
+        # cut replicas {2,3} off from {0,1}: no quorum anywhere
+        cluster.network.partition([0, 1], [2, 3])
+        stalled = proxy.invoke(2)
+        cluster.run(3.0)
+        assert not stalled.done
+        cluster.network.heal()
+        assert cluster.drain([stalled], deadline=60.0)
+        assert stalled.value == 3
+
+    def test_leader_isolated_from_majority(self):
+        cluster = Cluster(request_timeout=0.4)
+        proxy = cluster.proxy(invoke_timeout=3.0, max_retries=30)
+        assert cluster.drain([proxy.invoke(1)])
+        cluster.network.partition([0], [1, 2, 3])
+        future = proxy.invoke(2)
+        assert cluster.drain([future], deadline=60.0)
+        # the majority side elected a new leader and decided
+        assert all(r.regency >= 1 for r in cluster.replicas[1:])
+        assert cluster.apps[1].total == 3

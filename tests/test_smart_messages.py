@@ -1,0 +1,98 @@
+"""Unit tests for message types and wire-size accounting."""
+
+import pytest
+
+from repro.smart.messages import (
+    Accept,
+    ClientRequest,
+    ForwardedRequest,
+    MESSAGE_HEADER_BYTES,
+    Propose,
+    Reply,
+    StateReply,
+    StateRequest,
+    Stop,
+    StopData,
+    Sync,
+    ValueRequest,
+    ValueResponse,
+    Write,
+    WriteCertificate,
+)
+
+
+def request(size=100, seq=0):
+    return ClientRequest(client_id=1, sequence=seq, operation="op", size_bytes=size)
+
+
+class TestWireSizes:
+    def test_request_size_includes_payload(self):
+        small = request(size=0).wire_size()
+        large = request(size=4096).wire_size()
+        assert large - small == 4096
+
+    def test_propose_scales_with_batch(self):
+        batch_small = [request(size=100, seq=i) for i in range(10)]
+        batch_large = [request(size=100, seq=i) for i in range(400)]
+        p_small = Propose(0, 0, 0, batch_small, b"\x00" * 32)
+        p_large = Propose(0, 0, 0, batch_large, b"\x00" * 32)
+        assert p_large.wire_size() > p_small.wire_size()
+        assert p_large.wire_size() > 400 * 100
+
+    def test_votes_are_small_and_constant(self):
+        write = Write(0, 5, 0, b"\x00" * 32)
+        accept = Accept(0, 5, 0, b"\x00" * 32)
+        assert write.wire_size() == accept.wire_size()
+        assert write.wire_size() < 200
+        # independent of consensus id
+        assert Write(0, 999999, 3, b"\x00" * 32).wire_size() == write.wire_size()
+
+    def test_reply_size_includes_result(self):
+        small = Reply(0, 1, 0, result="x", regency=0, result_size=1)
+        large = Reply(0, 1, 0, result="x" * 100, regency=0, result_size=100)
+        assert large.wire_size() - small.wire_size() == 99
+
+    def test_stop_minimal(self):
+        assert Stop(0, 1).wire_size() == MESSAGE_HEADER_BYTES
+
+    def test_stopdata_includes_certificate_and_pending(self):
+        bare = StopData(0, 1, 5, None)
+        cert = WriteCertificate(6, 0, b"\x00" * 32, (0, 1, 2), [request(size=500)])
+        loaded = StopData(0, 1, 5, cert, pending=[request(size=300, seq=1)])
+        assert loaded.wire_size() > bare.wire_size() + 500 + 300
+
+    def test_sync_includes_batch_and_proofs(self):
+        batch = [request(size=200, seq=i) for i in range(3)]
+        proofs = [StopData(i, 1, 5, None) for i in range(3)]
+        sync = Sync(0, 1, 6, batch, b"\x00" * 32, proofs)
+        assert sync.wire_size() > 3 * 200
+
+    def test_forwarded_request_wraps_request(self):
+        inner = request(size=256)
+        assert ForwardedRequest(2, inner).wire_size() > inner.wire_size()
+
+    def test_value_exchange_sizes(self):
+        req = ValueRequest(0, 3, b"\x00" * 32)
+        resp = ValueResponse(1, 3, b"\x00" * 32, [request(size=1000)])
+        assert resp.wire_size() > req.wire_size() + 1000
+
+    def test_state_reply_includes_log(self):
+        empty = StateReply(0, -1, None, b"\x00" * 32, [], -1)
+        loaded = StateReply(
+            0, -1, None, b"\x00" * 32,
+            [(0, [request(size=400, seq=0)]), (1, [request(size=400, seq=1)])],
+            1,
+        )
+        assert loaded.wire_size() > empty.wire_size() + 800
+        assert StateRequest(0, 5).wire_size() < 200
+
+
+class TestRequestIdentity:
+    def test_request_id(self):
+        r = ClientRequest(client_id=7, sequence=3, operation=None)
+        assert r.request_id == (7, 3)
+
+    def test_uids_unique(self):
+        a = ClientRequest(client_id=1, sequence=0, operation=None)
+        b = ClientRequest(client_id=1, sequence=0, operation=None)
+        assert a.uid != b.uid

@@ -1,0 +1,127 @@
+"""Unit tests for the client service proxy."""
+
+import pytest
+
+from repro.smart.messages import Reply
+from repro.smart.proxy import ServiceProxy, _result_key
+from tests.conftest import Cluster
+
+
+class TestResultKey:
+    def test_equal_results_same_key(self):
+        assert _result_key({"a": 1}) == _result_key({"a": 1})
+
+    def test_different_results_different_key(self):
+        assert _result_key(1) != _result_key(2)
+
+    def test_unencodable_results_fall_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "odd-thing"
+
+        assert _result_key(Odd()) == _result_key(Odd())
+
+
+class TestProxy:
+    def test_sequences_increment(self, cluster):
+        proxy = cluster.proxy()
+        r1 = proxy.invoke_async("x")
+        r2 = proxy.invoke_async("y")
+        assert r2.sequence == r1.sequence + 1
+
+    def test_invoke_async_does_not_track(self, cluster):
+        proxy = cluster.proxy()
+        proxy.invoke_async(1)
+        assert len(proxy._pending) == 0
+
+    def test_replies_from_strangers_ignored(self, cluster):
+        proxy = cluster.proxy()
+        future = proxy.invoke(1)
+        for fake in (100, 101, 102):
+            proxy.deliver(
+                fake,
+                Reply(sender=fake, client_id=proxy.client_id, sequence=0,
+                      result=999, regency=0),
+            )
+        assert not future.done
+
+    def test_mismatched_replies_never_complete(self, cluster):
+        proxy = cluster.proxy()
+        future = proxy.invoke(1)
+        for sender, result in ((0, "a"), (1, "b"), (2, "c"), (3, "d")):
+            proxy.deliver(
+                sender,
+                Reply(sender=sender, client_id=proxy.client_id, sequence=0,
+                      result=result, regency=0),
+            )
+        assert not future.done
+
+    def test_two_matching_final_replies_complete(self, cluster):
+        proxy = cluster.proxy()
+        future = proxy.invoke(1)
+        for sender in (0, 1):
+            proxy.deliver(
+                sender,
+                Reply(sender=sender, client_id=proxy.client_id, sequence=0,
+                      result="ok", regency=0),
+            )
+        cluster.sim.run(until=cluster.sim.now + 0.1)
+        assert future.done and future.value == "ok"
+
+    def test_tentative_replies_need_quorum_weight(self):
+        cluster = Cluster(n=5, f=1, delta=1, vmax_holders=(0, 1))
+        proxy = cluster.proxy(accept_tentative=True)
+        future = proxy.invoke(1)
+        # two Vmax tentative replies: weight 4 < threshold 4.5
+        for sender in (0, 1):
+            proxy.deliver(
+                sender,
+                Reply(sender=sender, client_id=proxy.client_id, sequence=0,
+                      result="t", regency=0, tentative=True),
+            )
+        assert not future.done
+        proxy.deliver(
+            2,
+            Reply(sender=2, client_id=proxy.client_id, sequence=0,
+                  result="t", regency=0, tentative=True),
+        )
+        assert future.done
+
+    def test_tentative_ignored_when_not_accepted(self, cluster):
+        proxy = cluster.proxy(accept_tentative=False)
+        future = proxy.invoke(1)
+        for sender in (0, 1, 2, 3):
+            proxy.deliver(
+                sender,
+                Reply(sender=sender, client_id=proxy.client_id, sequence=0,
+                      result="t", regency=0, tentative=True),
+            )
+        assert not future.done
+
+    def test_gives_up_after_max_retries(self, cluster):
+        for replica in cluster.replicas:
+            replica.crash()
+        proxy = cluster.proxy(invoke_timeout=0.2, max_retries=2)
+        future = proxy.invoke(1)
+        cluster.run(5.0)
+        assert future.done
+        with pytest.raises(TimeoutError):
+            _ = future.value
+
+    def test_update_view(self, cluster):
+        proxy = cluster.proxy()
+        new_view = cluster.view.with_processes((0, 1, 2, 3, 4))
+        proxy.update_view(new_view)
+        assert proxy.view is new_view
+
+    def test_late_replies_after_completion_harmless(self, cluster):
+        proxy = cluster.proxy()
+        future = proxy.invoke(1)
+        assert cluster.drain([future])
+        before = proxy.replies_received
+        proxy.deliver(
+            3,
+            Reply(sender=3, client_id=proxy.client_id, sequence=0,
+                  result=future.value, regency=0),
+        )
+        assert proxy.replies_received == before  # pending entry gone

@@ -1,0 +1,171 @@
+"""Unit tests for vote sets, batching and consensus-instance state."""
+
+import pytest
+
+from repro.smart.batching import PendingQueue
+from repro.smart.consensus import ConsensusInstance, batch_hash
+from repro.smart.messages import ClientRequest
+from repro.smart.quorums import VoteSet
+from repro.smart.view import View
+
+
+def request(client=1, seq=0, op="x", size=10):
+    return ClientRequest(client_id=client, sequence=seq, operation=op, size_bytes=size)
+
+
+@pytest.fixture
+def view():
+    return View(0, (0, 1, 2, 3), 1)
+
+
+class TestVoteSet:
+    def test_quorum_reached(self, view):
+        votes = VoteSet(view)
+        for replica in (0, 1, 2):
+            votes.add(replica, b"h")
+        assert votes.has_quorum(b"h")
+
+    def test_below_quorum(self, view):
+        votes = VoteSet(view)
+        votes.add(0, b"h")
+        votes.add(1, b"h")
+        assert not votes.has_quorum(b"h")
+
+    def test_revote_idempotent(self, view):
+        votes = VoteSet(view)
+        assert votes.add(0, b"h")
+        assert not votes.add(0, b"h")
+        assert votes.weight_for(b"h") == 1.0
+
+    def test_equivocation_detected_and_first_vote_kept(self, view):
+        votes = VoteSet(view)
+        votes.add(0, b"h1")
+        votes.add(0, b"h2")
+        assert 0 in votes.equivocators
+        assert votes.weight_for(b"h1") == 1.0
+        assert votes.weight_for(b"h2") == 0.0
+
+    def test_votes_from_non_members_ignored(self, view):
+        votes = VoteSet(view)
+        assert not votes.add(99, b"h")
+        assert votes.weight_for(b"h") == 0.0
+
+    def test_quorum_value(self, view):
+        votes = VoteSet(view)
+        for replica in (0, 1, 2):
+            votes.add(replica, b"h")
+        assert votes.quorum_value() == b"h"
+
+    def test_no_quorum_value_when_split(self, view):
+        votes = VoteSet(view)
+        votes.add(0, b"a")
+        votes.add(1, b"b")
+        votes.add(2, b"a")
+        assert votes.quorum_value() is None
+
+    def test_voters_of(self, view):
+        votes = VoteSet(view)
+        votes.add(2, b"h")
+        votes.add(0, b"h")
+        assert votes.voters_of(b"h") == (0, 2)
+
+
+class TestPendingQueue:
+    def test_fifo_order(self):
+        queue = PendingQueue(max_batch=10)
+        for i in range(5):
+            queue.add(request(seq=i), now=0.0)
+        batch = queue.next_batch()
+        assert [r.sequence for r in batch] == [0, 1, 2, 3, 4]
+
+    def test_deduplication(self):
+        queue = PendingQueue()
+        r = request()
+        assert queue.add(r, 0.0)
+        assert not queue.add(r, 1.0)
+        assert len(queue) == 1
+
+    def test_batch_respects_count_limit(self):
+        queue = PendingQueue(max_batch=3)
+        for i in range(10):
+            queue.add(request(seq=i), 0.0)
+        assert len(queue.next_batch()) == 3
+        assert len(queue) == 7
+
+    def test_batch_respects_byte_limit(self):
+        queue = PendingQueue(max_batch=100, max_batch_bytes=250)
+        for i in range(5):
+            queue.add(request(seq=i, size=100), 0.0)
+        batch = queue.next_batch()
+        assert len(batch) == 2
+
+    def test_single_oversized_request_still_batched(self):
+        queue = PendingQueue(max_batch=100, max_batch_bytes=50)
+        queue.add(request(size=500), 0.0)
+        assert len(queue.next_batch()) == 1
+
+    def test_oldest_age(self):
+        queue = PendingQueue()
+        assert queue.oldest_age(5.0) is None
+        queue.add(request(seq=0), 1.0)
+        queue.add(request(seq=1), 4.0)
+        assert queue.oldest_age(5.0) == pytest.approx(4.0)
+
+    def test_remove(self):
+        queue = PendingQueue()
+        r = request()
+        queue.add(r, 0.0)
+        queue.remove(r.request_id)
+        assert len(queue) == 0
+        assert queue.oldest_age(1.0) is None
+
+    def test_contains(self):
+        queue = PendingQueue()
+        r = request()
+        queue.add(r, 0.0)
+        assert r.request_id in queue
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ValueError):
+            PendingQueue(max_batch=0)
+
+
+class TestConsensusInstance:
+    def test_batch_hash_depends_on_cid(self):
+        batch = [request(seq=0), request(seq=1)]
+        assert batch_hash(0, batch) != batch_hash(1, batch)
+
+    def test_batch_hash_depends_on_contents(self):
+        assert batch_hash(0, [request(seq=0)]) != batch_hash(0, [request(seq=1)])
+
+    def test_learn_value(self, view):
+        inst = ConsensusInstance(0, view)
+        batch = [request()]
+        value_hash = inst.learn_value(batch)
+        assert inst.value_of(value_hash) == batch
+        assert inst.value_of(b"unknown") is None
+
+    def test_mark_decided(self, view):
+        inst = ConsensusInstance(3, view)
+        batch = [request()]
+        value_hash = inst.learn_value(batch)
+        inst.mark_decided(0, value_hash)
+        assert inst.decided
+        assert inst.decided_batch == batch
+
+    def test_write_certificate_records_quorum(self, view):
+        inst = ConsensusInstance(0, view)
+        batch = [request()]
+        value_hash = inst.learn_value(batch)
+        for replica in (0, 1, 2):
+            inst.writes(0).add(replica, value_hash)
+        inst.record_write_quorum(0, value_hash)
+        cert = inst.write_certificate
+        assert cert is not None
+        assert cert.writers == (0, 1, 2)
+        assert cert.batch == batch
+
+    def test_vote_sets_separate_per_regency(self, view):
+        inst = ConsensusInstance(0, view)
+        inst.writes(0).add(0, b"h")
+        assert inst.writes(1).weight_for(b"h") == 0.0

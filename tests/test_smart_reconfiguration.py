@@ -1,0 +1,107 @@
+"""Tests for ordered group reconfiguration."""
+
+import pytest
+
+from repro.smart import ReconfigOp, ReconfigurationClient, apply_reconfig
+from repro.smart.replica import ServiceReplica
+from repro.smart.view import View
+from tests.conftest import Cluster, CounterApp
+
+
+class TestApplyReconfig:
+    def test_add_replica(self):
+        view = View(0, (0, 1, 2, 3), 1)
+        new = apply_reconfig(view, ReconfigOp("add", 4))
+        assert new.processes == (0, 1, 2, 3, 4)
+        assert new.view_id == 1
+        assert new.f == 1
+
+    def test_add_enough_for_larger_f(self):
+        view = View(0, tuple(range(6)), 1)
+        new = apply_reconfig(view, ReconfigOp("add", 6))
+        assert new.f == 2
+
+    def test_remove_replica(self):
+        view = View(0, tuple(range(5)), 1)
+        new = apply_reconfig(view, ReconfigOp("remove", 4))
+        assert new.processes == (0, 1, 2, 3)
+
+    def test_remove_below_minimum_rejected(self):
+        view = View(0, (0, 1, 2, 3), 1)
+        with pytest.raises(ValueError):
+            apply_reconfig(view, ReconfigOp("remove", 3))
+
+    def test_add_existing_is_idempotent(self):
+        """Re-applying an add during log replay must be a no-op."""
+        view = View(0, (0, 1, 2, 3), 1)
+        assert apply_reconfig(view, ReconfigOp("add", 2)) is view
+
+    def test_remove_missing_is_idempotent(self):
+        view = View(0, tuple(range(5)), 1)
+        assert apply_reconfig(view, ReconfigOp("remove", 9)) is view
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigOp("promote", 1)
+
+
+class TestOrderedReconfiguration:
+    def _add_node(self, cluster, new_id=4):
+        """Wire a fresh replica into the network before activating it."""
+        app = CounterApp()
+        replica = ServiceReplica(
+            cluster.sim,
+            cluster.network,
+            new_id,
+            cluster.view,
+            app,
+            config=cluster.config,
+        )
+        cluster.network.register(new_id, replica)
+        cluster.apps.append(app)
+        cluster.replicas.append(replica)
+        return replica
+
+    def test_add_replica_through_total_order(self):
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        self._add_node(cluster, 4)
+        admin = ReconfigurationClient(cluster.proxy())
+        future = admin.add_replica(4)
+        assert cluster.drain([future], deadline=20.0)
+        assert future.value["view_id"] == 1
+        assert 4 in future.value["processes"]
+        assert all(
+            replica.view.view_id == 1 for replica in cluster.replicas[:4]
+        )
+
+    def test_new_replica_serves_after_join(self):
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        new_replica = self._add_node(cluster, 4)
+        admin = ReconfigurationClient(cluster.proxy())
+        assert cluster.drain([admin.add_replica(4)], deadline=20.0)
+        new_replica.view = cluster.replicas[0].view
+        new_replica.state_transfer.start()
+        cluster.run(3.0)
+        proxy.update_view(cluster.replicas[0].view)
+        futures = [proxy.invoke(2) for _ in range(3)]
+        assert cluster.drain(futures, deadline=20.0)
+        cluster.run(2.0)
+        assert cluster.apps[4].total == cluster.apps[0].total
+
+    def test_removed_replica_goes_passive(self):
+        cluster = Cluster(n=5, f=1)
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        admin = ReconfigurationClient(cluster.proxy())
+        future = admin.remove_replica(4)
+        assert cluster.drain([future], deadline=20.0)
+        assert cluster.replicas[4].crashed  # passive now
+        # the 4-replica view still serves
+        proxy.update_view(cluster.replicas[0].view)
+        follow_up = proxy.invoke(2)
+        assert cluster.drain([follow_up], deadline=20.0)
+        assert cluster.apps[0].total == 3

@@ -1,0 +1,163 @@
+"""Tests for normal-case replication (no faults)."""
+
+import pytest
+
+from tests.conftest import Cluster
+
+
+class TestOrdering:
+    def test_single_request_executes_everywhere(self, cluster):
+        proxy = cluster.proxy()
+        future = proxy.invoke(5)
+        assert cluster.drain([future])
+        assert future.value == 5
+        assert [app.total for app in cluster.apps] == [5, 5, 5, 5]
+
+    def test_sequential_requests_ordered(self, cluster):
+        proxy = cluster.proxy()
+        futures = [proxy.invoke(i) for i in range(10)]
+        assert cluster.drain(futures)
+        assert cluster.apps[0].history == list(range(10))
+        assert cluster.histories_agree()
+
+    def test_results_reflect_execution_order(self, cluster):
+        proxy = cluster.proxy()
+        futures = [proxy.invoke(1) for _ in range(5)]
+        cluster.drain(futures)
+        assert [f.value for f in futures] == [1, 2, 3, 4, 5]
+
+    def test_multiple_clients_agree(self, cluster):
+        proxies = [cluster.proxy() for _ in range(3)]
+        futures = [p.invoke(i + 1) for i, p in enumerate(proxies) for _ in range(4)]
+        assert cluster.drain(futures)
+        assert cluster.histories_agree()
+        assert cluster.apps[0].total == sum(
+            (i + 1) * 4 for i in range(3)
+        )
+
+    def test_batching_amortizes_consensus(self, cluster):
+        proxy = cluster.proxy()
+        futures = [proxy.invoke(1) for _ in range(50)]
+        assert cluster.drain(futures)
+        # far fewer consensus instances than requests
+        assert cluster.replicas[0].counters.consensus_decided < 25
+
+    def test_larger_cluster_n7(self):
+        cluster = Cluster(n=7, f=2)
+        proxy = cluster.proxy()
+        futures = [proxy.invoke(i) for i in range(8)]
+        assert cluster.drain(futures)
+        assert cluster.histories_agree()
+
+    def test_n10_f3(self):
+        cluster = Cluster(n=10, f=3)
+        proxy = cluster.proxy()
+        futures = [proxy.invoke(i) for i in range(5)]
+        assert cluster.drain(futures)
+        assert cluster.histories_agree()
+
+    def test_request_payload_sizes_accounted(self, cluster):
+        proxy = cluster.proxy()
+        future = proxy.invoke(1, size_bytes=4096)
+        assert cluster.drain([future])
+        assert cluster.network.stats.bytes_sent > 4096 * 4  # sent to 4 replicas
+
+
+class TestDeduplication:
+    def test_duplicate_request_not_reexecuted(self, cluster):
+        proxy = cluster.proxy()
+        future = proxy.invoke(5)
+        assert cluster.drain([future])
+        request = None
+        # retransmit the exact same request manually
+        from repro.smart.messages import ClientRequest
+
+        duplicate = ClientRequest(
+            client_id=proxy.client_id, sequence=0, operation=5, size_bytes=0
+        )
+        for replica in cluster.replicas:
+            cluster.network.send(
+                proxy.client_id, replica.replica_id, duplicate, duplicate.wire_size()
+            )
+        cluster.run(2.0)
+        assert cluster.apps[0].total == 5  # not 10
+        assert cluster.replicas[0].counters.duplicate_requests > 0
+
+    def test_retransmission_gets_cached_reply(self, cluster):
+        proxy = cluster.proxy(invoke_timeout=0.3)
+        # slow everything down so the proxy retransmits at least once
+        future = proxy.invoke(7)
+        assert cluster.drain([future], deadline=10.0)
+        assert future.value == 7
+        assert cluster.apps[0].total == 7
+
+
+class TestReplies:
+    def test_reply_needs_f_plus_one_matches(self, cluster):
+        proxy = cluster.proxy()
+        future = proxy.invoke(1)
+        cluster.drain([future])
+        # at least f+1 = 2 replicas replied identically
+        assert proxy.replies_received >= 2
+
+    def test_byzantine_reply_cannot_fool_client(self, cluster):
+        """A single lying replica's reply never reaches the quorum."""
+        from repro.smart.messages import Reply
+
+        def lie(src, dst, payload):
+            if isinstance(payload, Reply) and payload.sender == 3:
+                return Reply(
+                    sender=3,
+                    client_id=payload.client_id,
+                    sequence=payload.sequence,
+                    result=999999,
+                    regency=payload.regency,
+                )
+            return payload
+
+        cluster.network.add_filter(lie)
+        proxy = cluster.proxy()
+        future = proxy.invoke(5)
+        assert cluster.drain([future])
+        assert future.value == 5
+
+
+class TestCheckpoints:
+    def test_checkpoint_truncates_log(self):
+        cluster = Cluster(checkpoint_period=5)
+        proxy = cluster.proxy()
+        futures = [proxy.invoke(1) for _ in range(12)]
+        # submit slowly so each lands in its own consensus instance
+        for i, _f in enumerate(futures):
+            pass
+        assert cluster.drain(futures)
+        replica = cluster.replicas[0]
+        if replica.counters.checkpoints:
+            assert len(replica.log) < replica.counters.consensus_decided
+
+    def test_checkpoint_state_matches_app(self):
+        cluster = Cluster(checkpoint_period=2)
+        proxy = cluster.proxy()
+        for i in range(8):
+            future = proxy.invoke(1)
+            cluster.drain([future])
+        replica = cluster.replicas[0]
+        assert replica.counters.checkpoints >= 1
+        checkpoint = replica.log.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.state["total"] <= cluster.apps[0].total
+
+
+class TestTimers:
+    def test_idle_cluster_stays_quiet(self, cluster):
+        cluster.run(5.0)
+        assert all(r.counters.regency_changes == 0 for r in cluster.replicas)
+        assert all(r.regency == 0 for r in cluster.replicas)
+
+    def test_steady_load_no_spurious_regency_change(self, cluster):
+        proxy = cluster.proxy()
+        for _ in range(5):
+            futures = [proxy.invoke(1) for _ in range(3)]
+            cluster.drain(futures)
+            cluster.run(0.4)
+        assert all(r.counters.regency_changes == 0 for r in cluster.replicas)

@@ -1,0 +1,88 @@
+"""Tests for state transfer (recovery and catch-up)."""
+
+import pytest
+
+from tests.conftest import Cluster
+
+
+class TestRecovery:
+    def test_crashed_replica_catches_up_on_recovery(self):
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        cluster.replicas[3].crash()
+        futures = [proxy.invoke(1) for _ in range(30)]
+        assert cluster.drain(futures, deadline=20.0)
+        assert cluster.apps[3].total == 1  # missed everything
+        cluster.replicas[3].recover()
+        cluster.run(5.0)
+        assert cluster.apps[3].total == 31
+        assert cluster.apps[3].history == cluster.apps[0].history
+
+    def test_recovered_replica_participates_again(self):
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        cluster.replicas[3].crash()
+        assert cluster.drain([proxy.invoke(2)], deadline=10.0)
+        cluster.replicas[3].recover()
+        cluster.run(5.0)
+        # now crash a different replica: the recovered one must help
+        # form quorums or the service stalls
+        cluster.replicas[2].crash()
+        future = proxy.invoke(3)
+        assert cluster.drain([future], deadline=30.0)
+        assert cluster.apps[3].total == 6
+
+    def test_recovery_with_checkpoint(self):
+        cluster = Cluster(checkpoint_period=5)
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        cluster.replicas[3].crash()
+        for _ in range(12):
+            assert cluster.drain([proxy.invoke(1)], deadline=10.0)
+        assert cluster.replicas[0].counters.checkpoints >= 1
+        cluster.replicas[3].recover()
+        cluster.run(5.0)
+        assert cluster.apps[3].total == 13
+        assert cluster.replicas[3].last_executed == cluster.replicas[0].last_executed
+
+    def test_transfer_counter_increments(self):
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        cluster.replicas[3].crash()
+        assert cluster.drain([proxy.invoke(2)], deadline=10.0)
+        cluster.replicas[3].recover()
+        cluster.run(5.0)
+        assert cluster.replicas[3].state_transfer.transfers_completed >= 1
+
+    def test_gap_detection_triggers_transfer(self):
+        """A replica that silently missed traffic (partition, not
+        crash) catches up when it sees far-future consensus ids."""
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        # partition replica 3 away
+        cluster.network.block(3, 0)
+        cluster.network.block(3, 1)
+        cluster.network.block(3, 2)
+        for _ in range(30):
+            assert cluster.drain([proxy.invoke(1)], deadline=10.0)
+        cluster.network.heal()
+        futures = [proxy.invoke(1) for _ in range(5)]
+        assert cluster.drain(futures, deadline=20.0)
+        cluster.run(5.0)
+        assert cluster.apps[3].total == cluster.apps[0].total
+
+    def test_up_to_date_replica_transfer_is_noop(self):
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        cluster.run(1.0)
+        replica = cluster.replicas[2]
+        before = replica.last_executed
+        replica.state_transfer.start()
+        cluster.run(3.0)
+        assert replica.last_executed == before
+        assert not replica.state_transfer.in_progress

@@ -1,0 +1,112 @@
+"""State transfer against dishonest or stale peers."""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.smart.durability import state_digest
+from repro.smart.messages import StateReply
+from tests.conftest import Cluster
+
+
+class TestStateTransferRobustness:
+    def advance(self, cluster, proxy, count):
+        for _ in range(count):
+            assert cluster.drain([proxy.invoke(1)], deadline=10.0)
+
+    def test_single_lying_reply_cannot_install(self, cluster):
+        """One fabricated state reply never reaches the f+1 threshold."""
+        replica = cluster.replicas[3]
+        replica.state_transfer.in_progress = True
+        fake_state = {"total": 666, "history": [666]}
+        lie = StateReply(
+            sender=2,
+            checkpoint_cid=5,
+            state=fake_state,
+            state_hash=state_digest(fake_state),
+            log=[],
+            last_cid=5,
+        )
+        replica.state_transfer.on_state_reply(2, lie)
+        assert replica.last_executed == -1
+        assert cluster.apps[3].total == 0
+
+    def test_matching_lies_from_f_plus_1_needed(self, cluster):
+        """Only f+1 = 2 *matching* replies install state; a single
+        Byzantine peer cannot reach that alone, two colluding ones
+        exceed f and are outside the fault model (and do succeed --
+        demonstrating exactly why f matters)."""
+        replica = cluster.replicas[3]
+        replica.state_transfer.in_progress = True
+        fake_state = {"total": 666, "history": [666]}
+        lie = StateReply(
+            sender=1,
+            checkpoint_cid=5,
+            state=fake_state,
+            state_hash=state_digest(fake_state),
+            log=[],
+            last_cid=5,
+        )
+        replica.state_transfer.on_state_reply(1, lie)
+        assert replica.last_executed == -1
+        lie2 = StateReply(
+            sender=2,
+            checkpoint_cid=5,
+            state=fake_state,
+            state_hash=state_digest(fake_state),
+            log=[],
+            last_cid=5,
+        )
+        replica.state_transfer.on_state_reply(2, lie2)
+        assert replica.last_executed == 5  # two faults > f: game over
+
+    def test_mismatched_digest_rejected(self, cluster):
+        """A reply whose shipped state does not match its own claimed
+        digest is discarded even with agreement on the key."""
+        replica = cluster.replicas[3]
+        replica.state_transfer.in_progress = True
+        fake_state = {"total": 666, "history": [666]}
+        wrong_digest = sha256("not-the-state")
+        for sender in (1, 2):
+            replica.state_transfer.on_state_reply(
+                sender,
+                StateReply(
+                    sender=sender,
+                    checkpoint_cid=5,
+                    state=fake_state,
+                    state_hash=wrong_digest,
+                    log=[],
+                    last_cid=5,
+                ),
+            )
+        assert replica.last_executed == -1
+
+    def test_honest_majority_wins_during_recovery(self):
+        """Full-system: one Byzantine peer feeds garbage state replies
+        while a replica recovers; the honest majority's state is the
+        one installed."""
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        self.advance(cluster, proxy, 3)
+        cluster.replicas[3].crash()
+        self.advance(cluster, proxy, 25)
+
+        from repro.smart.messages import StateReply as SR
+
+        def corrupt_state(src, dst, payload):
+            if isinstance(payload, SR) and src == 2:
+                fake = {"total": -1, "history": [-1]}
+                return SR(
+                    sender=2,
+                    checkpoint_cid=payload.checkpoint_cid,
+                    state=fake,
+                    state_hash=state_digest(fake),
+                    log=[],
+                    last_cid=payload.last_cid,
+                )
+            return payload
+
+        cluster.network.add_filter(corrupt_state)
+        cluster.replicas[3].recover()
+        cluster.run(6.0)
+        assert cluster.apps[3].total == 28
+        assert cluster.apps[3].history == cluster.apps[0].history
