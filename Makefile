@@ -1,0 +1,21 @@
+PYTHON ?= python
+PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+# full exploration knobs (see docs/FAULTS.md)
+SEEDS ?= 100
+START_SEED ?= 0
+
+.PHONY: test faults-smoke faults-explore
+
+## tier-1: the whole test suite (includes the 25-seed explorer run)
+test:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+## quick confidence check: 5 explorer seeds (runs in seconds)
+faults-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults --seeds 5
+
+## opt-in deep exploration: make faults-explore SEEDS=500
+faults-explore:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults \
+		--seeds $(SEEDS) --start-seed $(START_SEED) --shrink

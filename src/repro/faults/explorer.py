@@ -1,0 +1,322 @@
+"""Seeded randomized fault-schedule exploration (a mini-Jepsen).
+
+``run_seed(seed)`` derives a fault schedule from the seed, stands up a
+complete ordering-service deployment (``3f+1`` BFT-SMaRt replicas +
+ordering nodes + frontends) on a fresh simulator, drives an envelope
+workload through it while the schedule fires, heals every fault, runs
+to quiescence, and checks the global invariants of
+:mod:`repro.faults.invariants`.
+
+Everything is derived deterministically from the seed: the same seed
+produces a byte-identical fault trace and identical final ledger
+hashes, which is what makes a failing seed *reproducible*.  A failing
+schedule can additionally be *shrunk* to a locally-minimal fault trace
+(greedy one-event removal, re-running after each candidate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import sha256_hex
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.envelope import Envelope
+from repro.faults.actions import (
+    CorruptWrites,
+    CrashReplica,
+    Delay,
+    Drop,
+    Duplicate,
+    EquivocatePropose,
+    Match,
+    Partition,
+    Reorder,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    BlockRecorder,
+    Violation,
+    check_ordering_service,
+    replica_log_digests,
+)
+from repro.faults.scenario import FaultEvent, Scenario
+from repro.ordering.service import OrderingServiceConfig, build_ordering_service
+from repro.sim.randomness import RandomStreams
+
+
+@dataclass
+class ExplorerConfig:
+    """Knobs of one exploration run (defaults: f=1, n=4, LAN)."""
+
+    f: int = 1
+    channel: str = "ch0"
+    envelopes: int = 24
+    payload_size: int = 256
+    block_size: int = 4
+    batch_timeout: float = 0.25
+    num_frontends: int = 2
+    request_timeout: float = 0.5
+    #: envelope submissions spread over [load_start, load_start + load_window]
+    load_start: float = 0.1
+    load_window: float = 1.5
+    #: fault events sampled within this window
+    fault_window: Tuple[float, float] = (0.2, 2.4)
+    heal_at: float = 3.0
+    #: absolute simulated-time budget to reach quiescence
+    deadline: float = 60.0
+    min_events: int = 1
+    max_events: int = 4
+
+    @property
+    def n(self) -> int:
+        return 3 * self.f + 1
+
+
+@dataclass
+class RunResult:
+    """Outcome of one schedule run."""
+
+    seed: int
+    events: List[FaultEvent]
+    trace: List[str]
+    trace_digest: str
+    ledger_digest: str
+    frontend_digests: Dict[Any, str]
+    violations: List[Violation]
+    submitted: int
+    delivered: int
+    sim_time: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+#: Fault kinds the sampler draws from.  ``crash``, ``partition`` and the
+#: two Byzantine kinds are sampled at most once per schedule so the
+#: fault assumption (at most f=1 Byzantine replica, quorums eventually
+#: available) is never exceeded by construction.
+KINDS = (
+    "drop",
+    "delay",
+    "duplicate",
+    "reorder",
+    "crash",
+    "partition",
+    "equivocate",
+    "corrupt-writes",
+)
+
+
+def sample_schedule(seed: int, cfg: Optional[ExplorerConfig] = None) -> List[FaultEvent]:
+    """Derive a fault schedule deterministically from ``seed``."""
+    cfg = cfg or ExplorerConfig()
+    rng = RandomStreams(seed).stream("fault-schedule")
+    n = cfg.n
+    count = rng.randint(cfg.min_events, cfg.max_events)
+    crash_used = split_used = byz_used = False
+    events: List[FaultEvent] = []
+    for index in range(count):
+        kind = rng.choice(KINDS)
+        at = round(rng.uniform(*cfg.fault_window), 3)
+        duration = round(rng.uniform(0.4, 1.5), 3)
+        if kind == "crash" and crash_used:
+            kind = "delay"
+        if kind == "partition" and split_used:
+            kind = "delay"
+        if kind in ("equivocate", "corrupt-writes") and byz_used:
+            kind = "delay"
+
+        if kind == "drop":
+            src, dst = rng.sample(range(n), 2)
+            rate = round(rng.uniform(0.3, 0.9), 2)
+            action = Drop(Match(src=src, dst=dst), rate=rate, stream=f"drop-{index}")
+        elif kind == "delay":
+            src, dst = rng.sample(range(n), 2)
+            delay = round(rng.uniform(0.02, 0.15), 3)
+            action = Delay(Match(src=src, dst=dst), delay=delay)
+        elif kind == "duplicate":
+            src, dst = rng.sample(range(n), 2)
+            copies = rng.randint(2, 3)
+            action = Duplicate(Match(src=src, dst=dst), copies=copies, spacing=0.004)
+        elif kind == "reorder":
+            src, dst = rng.sample(range(n), 2)
+            delay = round(rng.uniform(0.01, 0.06), 3)
+            rate = round(rng.uniform(0.4, 1.0), 2)
+            action = Reorder(
+                Match(src=src, dst=dst), delay=delay, rate=rate,
+                stream=f"reorder-{index}",
+            )
+        elif kind == "crash":
+            crash_used = True
+            action = CrashReplica(rng.randrange(n))
+        elif kind == "partition":
+            split_used = True
+            size = rng.randint(1, n // 2)
+            isolated = sorted(rng.sample(range(n), size))
+            rest = [p for p in range(n) if p not in isolated]
+            action = Partition(isolated, rest)
+        elif kind == "equivocate":
+            byz_used = True
+            victim = rng.randrange(1, n)
+            action = EquivocatePropose(0, victim)
+        else:  # corrupt-writes
+            byz_used = True
+            action = CorruptWrites(rng.randrange(n))
+        events.append(FaultEvent(at=at, action=action, duration=duration))
+    events.sort(key=lambda e: e.at)
+    return events
+
+
+def run_schedule(
+    seed: int, events: List[FaultEvent], cfg: Optional[ExplorerConfig] = None
+) -> RunResult:
+    """Run one fault schedule against a fresh deployment and check the
+    invariants."""
+    cfg = cfg or ExplorerConfig()
+    service = build_ordering_service(
+        OrderingServiceConfig(
+            f=cfg.f,
+            channel=ChannelConfig(
+                cfg.channel,
+                max_message_count=cfg.block_size,
+                batch_timeout=cfg.batch_timeout,
+            ),
+            num_frontends=cfg.num_frontends,
+            physical_cores=None,
+            request_timeout=cfg.request_timeout,
+            enable_batch_timeout=True,
+            seed=seed,
+        )
+    )
+    recorder = BlockRecorder(service.network)
+    injector = FaultInjector(service.network, service.replicas, seed=seed)
+    Scenario(events, heal_at=cfg.heal_at).install(injector)
+
+    # the workload: evenly spaced envelopes, round-robin over frontends.
+    # Envelope ids are pinned so block digests (which hash envelope ids)
+    # are identical across reruns of the same seed in one process.
+    spacing = cfg.load_window / cfg.envelopes
+    for i in range(cfg.envelopes):
+        envelope = Envelope(
+            channel_id=cfg.channel,
+            transaction=None,
+            payload_size=cfg.payload_size,
+            envelope_id=i,
+        )
+        service.sim.schedule_at(
+            cfg.load_start + i * spacing,
+            service.submit,
+            envelope,
+            i % cfg.num_frontends,
+        )
+
+    service.sim.run_until(
+        lambda: service.total_delivered() >= cfg.envelopes, cfg.deadline
+    )
+    # make sure healing happened even if delivery finished early, so the
+    # deployment is always left in (and checked in) a fault-free state
+    if service.sim.now < cfg.heal_at:
+        service.sim.run(until=cfg.heal_at + 0.001)
+
+    violations = check_ordering_service(service, recorder)
+    frontend_digests = {
+        frontend.name: frontend.ledger_digest().hex()
+        for frontend in service.frontends
+    }
+    log_digest = sha256_hex(
+        "replica-logs",
+        [
+            (rid, sorted((cid, digest) for cid, digest in cids.items()))
+            for rid, cids in sorted(replica_log_digests(service.replicas).items())
+        ],
+    )
+    ledger_digest = sha256_hex(
+        "run-ledger",
+        [frontend_digests[fe.name] for fe in service.frontends],
+        log_digest,
+    )
+    return RunResult(
+        seed=seed,
+        events=list(events),
+        trace=list(injector.trace),
+        trace_digest=sha256_hex("trace", list(injector.trace)),
+        ledger_digest=ledger_digest,
+        frontend_digests=frontend_digests,
+        violations=violations,
+        submitted=service.total_submitted(),
+        delivered=service.total_delivered(),
+        sim_time=service.sim.now,
+    )
+
+
+def run_seed(seed: int, cfg: Optional[ExplorerConfig] = None) -> RunResult:
+    """Sample the seed's schedule and run it."""
+    cfg = cfg or ExplorerConfig()
+    return run_schedule(seed, sample_schedule(seed, cfg), cfg)
+
+
+def shrink_schedule(
+    seed: int,
+    events: List[FaultEvent],
+    cfg: Optional[ExplorerConfig] = None,
+    max_runs: int = 64,
+) -> Tuple[List[FaultEvent], RunResult]:
+    """Greedily minimize a *failing* schedule.
+
+    Repeatedly tries dropping one event at a time, keeping any removal
+    that still violates an invariant, until no single removal does (or
+    the run budget is exhausted).  Returns the minimal schedule and its
+    run result.
+    """
+    cfg = cfg or ExplorerConfig()
+    current = list(events)
+    runs = 0
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1 :]
+            runs += 1
+            if not run_schedule(seed, candidate, cfg).ok:
+                current = candidate
+                changed = True
+                break
+            if runs >= max_runs:
+                break
+    return current, run_schedule(seed, current, cfg)
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate of an exploration sweep."""
+
+    results: List[RunResult] = field(default_factory=list)
+    shrunk: Dict[int, List[FaultEvent]] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> List[RunResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def explore(
+    seeds: int,
+    start_seed: int = 0,
+    cfg: Optional[ExplorerConfig] = None,
+    shrink: bool = False,
+) -> ExplorationReport:
+    """Run ``seeds`` consecutive seeds; optionally shrink the failures."""
+    cfg = cfg or ExplorerConfig()
+    report = ExplorationReport()
+    for seed in range(start_seed, start_seed + seeds):
+        result = run_seed(seed, cfg)
+        report.results.append(result)
+        if not result.ok and shrink:
+            minimal, _ = shrink_schedule(seed, result.events, cfg)
+            report.shrunk[seed] = minimal
+    return report

@@ -1,0 +1,230 @@
+"""Global invariants checked after every fault run.
+
+The checks mirror what the paper's fault model promises:
+
+- **no fork** -- no two correct replicas execute divergent histories,
+  and the durable operation logs of any two replicas agree on every
+  consensus instance both logged;
+- **block agreement** -- no ordering node ever signs two different
+  blocks with one number, all nodes agree on each number's digest, and
+  every frontend (which waits for ``2f+1`` matching copies) delivers
+  the same hash chain;
+- **durability** -- a recovered replica's log is consistent with its
+  peers' (subsumed by the log-agreement check, which runs after
+  crash/recover schedules too);
+- **liveness** -- once faults heal, every submitted envelope is
+  eventually ordered and delivered.
+
+Checkers return :class:`Violation` lists instead of asserting, so the
+schedule explorer can aggregate, report and shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.fabric.api import BlockDelivery
+from repro.smart.consensus import batch_hash
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach with enough detail to debug it."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# replica-level safety
+# ----------------------------------------------------------------------
+def check_history_prefixes(
+    histories: Mapping[Any, Sequence], exclude: Sequence = ()
+) -> List[Violation]:
+    """No fork: every pair of histories must be prefix-consistent."""
+    violations: List[Violation] = []
+    items = [(rid, list(h)) for rid, h in histories.items() if rid not in set(exclude)]
+    for i, (id_a, hist_a) in enumerate(items):
+        for id_b, hist_b in items[i + 1 :]:
+            common = min(len(hist_a), len(hist_b))
+            if hist_a[:common] != hist_b[:common]:
+                index = next(
+                    k for k in range(common) if hist_a[k] != hist_b[k]
+                )
+                violations.append(
+                    Violation(
+                        "fork",
+                        f"replicas {id_a} and {id_b} diverge at position "
+                        f"{index}: {hist_a[index]!r} != {hist_b[index]!r}",
+                    )
+                )
+    return violations
+
+
+def check_log_agreement(
+    log_digests: Mapping[Any, Mapping[int, bytes]], exclude: Sequence = ()
+) -> List[Violation]:
+    """Durable logs agree: same cid => same decided-batch hash."""
+    violations: List[Violation] = []
+    reference: Dict[int, tuple] = {}
+    excluded = set(exclude)
+    for rid in sorted(log_digests, key=repr):
+        if rid in excluded:
+            continue
+        for cid, digest in sorted(log_digests[rid].items()):
+            seen = reference.get(cid)
+            if seen is None:
+                reference[cid] = (rid, digest)
+            elif seen[1] != digest:
+                violations.append(
+                    Violation(
+                        "fork",
+                        f"consensus instance {cid} decided differently at "
+                        f"replicas {seen[0]} and {rid}",
+                    )
+                )
+    return violations
+
+
+def replica_log_digests(replicas: Sequence) -> Dict[Any, Dict[int, bytes]]:
+    """Per-replica ``cid -> batch hash`` maps from the operation logs."""
+    return {
+        replica.replica_id: {
+            cid: batch_hash(cid, batch) for cid, batch in replica.log.entries
+        }
+        for replica in replicas
+    }
+
+
+# ----------------------------------------------------------------------
+# block-level safety (ordering service)
+# ----------------------------------------------------------------------
+class BlockRecorder:
+    """Network tap recording every block copy any node disseminates.
+
+    Install on a network (it is a pass-through filter) before the run;
+    afterwards :meth:`check` reports equivocation (one node, one
+    number, two digests) and cross-node disagreement.
+    """
+
+    def __init__(self, network=None):
+        self.copies: List[tuple] = []  # (source, channel, number, digest)
+        if network is not None:
+            network.add_filter(self)
+
+    def __call__(self, src, dst, payload):
+        if isinstance(payload, BlockDelivery):
+            block = payload.block
+            self.copies.append(
+                (
+                    payload.source,
+                    block.channel_id,
+                    block.header.number,
+                    block.header.digest(),
+                )
+            )
+        return payload
+
+    def check(self) -> List[Violation]:
+        violations: List[Violation] = []
+        per_node: Dict[tuple, bytes] = {}
+        per_number: Dict[tuple, tuple] = {}
+        for source, channel, number, digest in self.copies:
+            node_key = (source, channel, number)
+            if node_key in per_node and per_node[node_key] != digest:
+                violations.append(
+                    Violation(
+                        "block-equivocation",
+                        f"node {source} signed two different blocks for "
+                        f"{channel}#{number}",
+                    )
+                )
+            per_node.setdefault(node_key, digest)
+            num_key = (channel, number)
+            seen = per_number.get(num_key)
+            if seen is None:
+                per_number[num_key] = (source, digest)
+            elif seen[1] != digest:
+                violations.append(
+                    Violation(
+                        "block-fork",
+                        f"nodes {seen[0]} and {source} disagree on "
+                        f"{channel}#{number}",
+                    )
+                )
+        return violations
+
+
+def check_frontend_agreement(frontends: Sequence) -> List[Violation]:
+    """All frontends deliver the same per-channel digest chain.
+
+    A slower frontend may have delivered a prefix of a faster one; any
+    disagreement *within* the common prefix is a fork.
+    """
+    violations: List[Violation] = []
+    channels = sorted({c for fe in frontends for c in fe.delivered_digests})
+    for channel in channels:
+        chains = [
+            (fe.name, fe.delivered_digests.get(channel, [])) for fe in frontends
+        ]
+        for i, (name_a, chain_a) in enumerate(chains):
+            for name_b, chain_b in chains[i + 1 :]:
+                common = min(len(chain_a), len(chain_b))
+                if chain_a[:common] != chain_b[:common]:
+                    violations.append(
+                        Violation(
+                            "frontend-disagreement",
+                            f"frontends {name_a} and {name_b} delivered "
+                            f"different chains on channel {channel!r}",
+                        )
+                    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# liveness
+# ----------------------------------------------------------------------
+def check_liveness(submitted: int, delivered: int) -> List[Violation]:
+    """After healing and draining, everything submitted was ordered."""
+    if delivered < submitted:
+        return [
+            Violation(
+                "liveness",
+                f"only {delivered} of {submitted} envelopes delivered "
+                "after faults healed",
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# one-call service check
+# ----------------------------------------------------------------------
+def check_ordering_service(
+    service,
+    recorder: Optional[BlockRecorder] = None,
+    expect_live: bool = True,
+) -> List[Violation]:
+    """Run every applicable invariant against an
+    :class:`~repro.ordering.service.OrderingService` deployment."""
+    violations: List[Violation] = []
+    violations += check_log_agreement(
+        {
+            replica.replica_id: {
+                cid: batch_hash(cid, batch) for cid, batch in replica.log.entries
+            }
+            for replica in service.replicas
+        }
+    )
+    if recorder is not None:
+        violations += recorder.check()
+    violations += check_frontend_agreement(service.frontends)
+    if expect_live:
+        violations += check_liveness(
+            service.total_submitted(), service.total_delivered()
+        )
+    return violations

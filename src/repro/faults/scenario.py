@@ -1,0 +1,66 @@
+"""Timed fault scenarios.
+
+A :class:`Scenario` is a declarative schedule: *at* time ``t`` start
+this action, optionally stop it after ``duration`` seconds, and (if
+``heal_at`` is set) stop everything and scrub the network at that time.
+Installing a scenario only schedules simulator events -- the run itself
+is driven by whoever owns the simulator (a test, the explorer, the
+CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.faults.actions import FaultAction
+from repro.faults.injector import FaultInjector
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault: start ``action`` at ``at`` for ``duration``.
+
+    ``duration=None`` leaves the fault active until the scenario's
+    ``heal_at`` (or forever if the scenario never heals).
+    """
+
+    at: float
+    action: FaultAction
+    duration: Optional[float] = None
+
+    def describe(self) -> str:
+        span = f"+{self.duration:g}s" if self.duration is not None else "until-heal"
+        return f"@{self.at:g}s {self.action.describe()} ({span})"
+
+
+class Scenario:
+    """A reproducible fault schedule against one deployment."""
+
+    def __init__(self, events: Sequence[FaultEvent], heal_at: Optional[float] = None):
+        self.events = list(events)
+        self.heal_at = heal_at
+        for event in self.events:
+            if heal_at is not None and event.at >= heal_at:
+                raise ValueError(
+                    f"fault at t={event.at} starts after heal_at={heal_at}"
+                )
+
+    def install(self, injector: FaultInjector) -> None:
+        """Schedule every start/stop (and the heal) on the simulator."""
+        sim = injector.sim
+        for event in self.events:
+            sim.schedule_at(event.at, injector.start, event.action)
+            if event.duration is not None:
+                stop_at = event.at + event.duration
+                if self.heal_at is not None:
+                    stop_at = min(stop_at, self.heal_at)
+                sim.schedule_at(stop_at, injector.stop, event.action)
+        if self.heal_at is not None:
+            sim.schedule_at(self.heal_at, injector.heal)
+
+    def describe(self) -> List[str]:
+        lines = [event.describe() for event in self.events]
+        if self.heal_at is not None:
+            lines.append(f"@{self.heal_at:g}s heal")
+        return lines

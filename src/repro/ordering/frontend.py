@@ -70,6 +70,9 @@ class Frontend:
         self._ready: Dict[str, Dict[int, Block]] = {}
         self.envelopes_submitted = 0
         self.blocks_delivered = 0
+        #: invariant probe (repro.faults): per-channel header digests of
+        #: every block delivered, in delivery order
+        self.delivered_digests: Dict[str, List[bytes]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -166,8 +169,29 @@ class Frontend:
             self._next_expected[channel] = next_number + 1
             self._deliver_block(block)
 
+    def ledger_digest(self, channel: Optional[str] = None) -> bytes:
+        """Running hash over the delivered block-digest chain.
+
+        Two frontends that delivered the same blocks in the same order
+        have equal digests -- the agreement invariant checked by
+        :mod:`repro.faults.invariants`.
+        """
+        from repro.crypto.hashing import sha256
+
+        channels = (
+            [channel] if channel is not None else sorted(self.delivered_digests)
+        )
+        acc = b""
+        for name in channels:
+            for digest in self.delivered_digests.get(name, []):
+                acc = sha256("ledger", acc, name, digest)
+        return acc
+
     def _deliver_block(self, block: Block) -> None:
         self.blocks_delivered += 1
+        self.delivered_digests.setdefault(block.channel_id, []).append(
+            block.header.digest()
+        )
         self._record_stats(block)
         delivery = BlockDelivery(block=block, source=self.name)
         self.network.broadcast(self.name, self.peers, delivery, delivery.wire_size())

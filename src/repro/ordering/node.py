@@ -148,7 +148,9 @@ class BFTOrderingNode(StateMachine):
             self._create_block(envelope.channel_id, state, batch)
         if batches:
             state.ttc_pending = False
-        elif len(state.cutter) > 0:
+        if len(state.cutter) > 0:
+            # covers both a fresh remainder after a cut and the plain
+            # not-yet-full case; a stale armed timer re-arms itself
             self._arm_cut_timer(envelope.channel_id, state)
         return {"status": "ACK", "channel": envelope.channel_id}
 
@@ -158,6 +160,8 @@ class BFTOrderingNode(StateMachine):
             return {"status": "NO_SUCH_CHANNEL", "channel": ttc.channel_id}
         state.ttc_pending = False
         if state.next_number != ttc.target_height or len(state.cutter) == 0:
+            if len(state.cutter) > 0:
+                self._arm_cut_timer(ttc.channel_id, state)
             return {"status": "STALE_TTC"}
         batch = state.cutter.cut()
         self._create_block(ttc.channel_id, state, batch)
@@ -258,6 +262,10 @@ class BFTOrderingNode(StateMachine):
             return  # stale timer from an earlier arming
         if state.next_number != target or len(state.cutter) == 0:
             state.ttc_pending = False
+            if len(state.cutter) > 0:
+                # armed for a height that was cut meanwhile, but new
+                # envelopes are waiting: re-arm for the current height
+                self._arm_cut_timer(channel_id, state)
             return
         self.ttc_submitter(TimeToCut(channel_id=channel_id, target_height=target))
         # retry in case the TTC got lost (fire-and-forget submission)

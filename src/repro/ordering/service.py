@@ -130,6 +130,34 @@ class OrderingService:
     def recover_node(self, index: int) -> None:
         self.replicas[index].recover()
 
+    # ------------------------------------------------------------------
+    # invariant probes (repro.faults)
+    # ------------------------------------------------------------------
+    def ledger_digests(self) -> Dict[int, bytes]:
+        """Per-frontend chain digest over the blocks each delivered."""
+        return {
+            frontend.name: frontend.ledger_digest() for frontend in self.frontends
+        }
+
+    def replica_log_digests(self) -> Dict[int, Dict[int, bytes]]:
+        """Per-replica map of decided cid -> batch hash (durability log)."""
+        from repro.smart.consensus import batch_hash
+
+        return {
+            replica.replica_id: {
+                cid: batch_hash(cid, batch) for cid, batch in replica.log.entries
+            }
+            for replica in self.replicas
+        }
+
+    def total_submitted(self) -> int:
+        return sum(frontend.envelopes_submitted for frontend in self.frontends)
+
+    def total_delivered(self) -> int:
+        """Envelopes delivered through frontend 0's meter (all frontends
+        deliver the same blocks, so one meter suffices for liveness)."""
+        return int(self.stats.meter(f"{FRONTEND_ID_BASE}.envelopes").total)
+
     def run(self, duration: float) -> None:
         self.sim.run(until=self.sim.now + duration)
 

@@ -22,6 +22,7 @@ from repro.sim.monitor import Counter, LatencyRecorder, StatsRegistry, Throughpu
 from repro.sim.network import (
     NIC,
     ConstantLatency,
+    Intercept,
     LatencyModel,
     MatrixLatency,
     Network,
@@ -35,6 +36,7 @@ __all__ = [
     "Counter",
     "EventHandle",
     "Future",
+    "Intercept",
     "LatencyModel",
     "LatencyRecorder",
     "MatrixLatency",

@@ -141,8 +141,32 @@ class NetworkStats:
 
 
 #: A filter takes (src, dst, payload) and returns the payload to
-#: deliver (possibly mutated/substituted) or None to drop the message.
+#: deliver (possibly mutated/substituted), None to drop the message, or
+#: an :class:`Intercept` verdict for richer fault effects.
 MessageFilter = Callable[[NodeId, NodeId, Any], Optional[Any]]
+
+
+@dataclass
+class Intercept:
+    """Rich verdict an interceptor may return instead of a payload.
+
+    Lets the fault-injection layer (:mod:`repro.faults`) express
+    effects the plain payload-or-None protocol cannot:
+
+    - ``drop`` -- discard the message (same as returning None);
+    - ``extra_delay`` -- add seconds to the propagation delay;
+    - ``copies`` -- deliver this many copies, ``copy_spacing`` apart;
+    - ``bypass_fifo`` -- exempt the delivery from the per-link FIFO
+      floor, so a delayed message may be overtaken by later ones
+      (message reordering, as on a UDP-like adversarial link).
+    """
+
+    payload: Any
+    drop: bool = False
+    extra_delay: float = 0.0
+    copies: int = 1
+    copy_spacing: float = 0.0
+    bypass_fifo: bool = False
 
 
 class Network:
@@ -238,6 +262,15 @@ class Network:
         self._blocked.clear()
         self._drop_rates.clear()
 
+    def is_blocked(self, a: NodeId, b: NodeId) -> bool:
+        return (a, b) in self._blocked
+
+    def blocked_links(self) -> set[Tuple[NodeId, NodeId]]:
+        return set(self._blocked)
+
+    def crashed_nodes(self) -> list[NodeId]:
+        return [nid for nid, node in self._nodes.items() if node.crashed]
+
     def set_drop_rate(self, a: NodeId, b: NodeId, rate: float) -> None:
         """Drop messages on (a -> b) independently with probability ``rate``."""
         self._drop_rates[(a, b)] = rate
@@ -274,11 +307,26 @@ class Network:
         if drop_rate > 0.0 and self._rng.random() < drop_rate:
             self.stats.messages_dropped += 1
             return
+        extra_delay = 0.0
+        copies = 1
+        copy_spacing = 0.0
+        bypass_fifo = False
         for fn in self._filters:
-            payload = fn(src, dst, payload)
-            if payload is None:
+            verdict = fn(src, dst, payload)
+            if verdict is None:
                 self.stats.messages_dropped += 1
                 return
+            if isinstance(verdict, Intercept):
+                if verdict.drop:
+                    self.stats.messages_dropped += 1
+                    return
+                payload = verdict.payload
+                extra_delay += verdict.extra_delay
+                copies = max(copies, verdict.copies)
+                copy_spacing = max(copy_spacing, verdict.copy_spacing)
+                bypass_fifo = bypass_fifo or verdict.bypass_fifo
+            else:
+                payload = verdict
 
         wire_bytes = size_bytes + self.overhead_bytes
         self.stats.bytes_sent += wire_bytes
@@ -291,11 +339,15 @@ class Network:
             done = src_node.nic.transmit(wire_bytes)
             prop = self.latency.delay(src_node.site, dst_node.site, self._rng)
             arrival = done + prop
-        # connections deliver in order (TCP): jitter may not reorder
-        # messages on the same link
-        arrival = max(arrival, self._last_arrival.get(link, 0.0))
-        self._last_arrival[link] = arrival
+        arrival += extra_delay
+        if not bypass_fifo:
+            # connections deliver in order (TCP): jitter may not reorder
+            # messages on the same link
+            arrival = max(arrival, self._last_arrival.get(link, 0.0))
+            self._last_arrival[link] = arrival
         self.sim.schedule_at(arrival, self._deliver, src, dst, payload)
+        for i in range(1, copies):
+            self.sim.schedule_at(arrival + i * copy_spacing, self._deliver, src, dst, payload)
 
     def broadcast(
         self, src: NodeId, dsts: Iterable[NodeId], payload: Any, size_bytes: int = 0

@@ -135,6 +135,32 @@ class ReplicaConfig:
 
 
 @dataclass
+class FaultControls:
+    """Byzantine-behaviour switches flipped by :mod:`repro.faults`.
+
+    All off in normal operation; tests and the fault explorer use them
+    to turn one replica adversarial without forking the protocol code.
+    ``skip_quorum_checks`` removes the WRITE/ACCEPT quorum requirement
+    (the safety mutation the fork invariant must catch); ``mute``
+    silences outbound traffic while the replica keeps receiving;
+    ``suppress_sync`` makes the replica refuse to vote for or join
+    regency changes (a liveness attack on the synchronization phase).
+    """
+
+    skip_quorum_checks: bool = False
+    mute: bool = False
+    suppress_sync: bool = False
+
+    def any_active(self) -> bool:
+        return self.skip_quorum_checks or self.mute or self.suppress_sync
+
+    def reset(self) -> None:
+        self.skip_quorum_checks = False
+        self.mute = False
+        self.suppress_sync = False
+
+
+@dataclass
 class ReplicaCounters:
     proposes_sent: int = 0
     consensus_decided: int = 0
@@ -175,6 +201,7 @@ class ServiceReplica:
         self.replier = replier
         self.stats = stats
         self.counters = ReplicaCounters()
+        self.faults = FaultControls()
 
         self.regency = 0
         self.last_executed = -1
@@ -183,7 +210,9 @@ class ServiceReplica:
         self.pending = PendingQueue(self.config.max_batch, self.config.max_batch_bytes)
         self.crashed = False
 
-        # request deduplication / reply cache: client -> (seq, result, regency)
+        # reply cache (client -> (seq, result, regency)) plus the ids of
+        # every executed request; dedup is by exact id because async
+        # clients keep many sequences outstanding at once
         self._last_reply: Dict[int, Tuple[int, Any, int]] = {}
         self._executed_ids: set[RequestId] = set()
 
@@ -220,9 +249,13 @@ class ServiceReplica:
         return inst
 
     def _broadcast(self, message, size: int) -> None:
+        if self.faults.mute:
+            return
         self.network.broadcast(self.replica_id, self.other_replicas(), message, size)
 
     def _send(self, dst: int, message, size: int) -> None:
+        if self.faults.mute:
+            return
         self.network.send(self.replica_id, dst, message, size)
 
     # ------------------------------------------------------------------
@@ -273,14 +306,11 @@ class ServiceReplica:
     # client requests and proposing
     # ------------------------------------------------------------------
     def _on_request(self, request: ClientRequest) -> None:
-        cached = self._last_reply.get(request.client_id)
-        if cached is not None and request.sequence <= cached[0]:
-            self.counters.duplicate_requests += 1
-            if request.sequence == cached[0]:
-                self.replier(self, request, cached[1], cached[2], False)
-            return
         if request.request_id in self._executed_ids:
             self.counters.duplicate_requests += 1
+            cached = self._last_reply.get(request.client_id)
+            if cached is not None and request.sequence == cached[0]:
+                self.replier(self, request, cached[1], cached[2], False)
             return
         request.submit_time = request.submit_time or self.sim.now
         self.pending.add(request, self.sim.now)
@@ -408,7 +438,7 @@ class ServiceReplica:
         votes.add(voter, value_hash)
         if regency != self.regency:
             return
-        if votes.has_quorum(value_hash):
+        if votes.has_quorum(value_hash) or self.faults.skip_quorum_checks:
             if inst.write_certificate is None or inst.write_certificate.regency < regency:
                 inst.record_write_quorum(regency, value_hash)
             self._cast_accept(inst, value_hash)
@@ -435,7 +465,9 @@ class ServiceReplica:
     ) -> None:
         votes = inst.accepts(regency)
         votes.add(voter, value_hash)
-        if not inst.decided and votes.has_quorum(value_hash):
+        if not inst.decided and (
+            votes.has_quorum(value_hash) or self.faults.skip_quorum_checks
+        ):
             inst.mark_decided(regency, value_hash)
             self.counters.consensus_decided += 1
             self._try_execute()
@@ -519,15 +551,11 @@ class ServiceReplica:
             rid = request.request_id
             if rid in self._executed_ids:
                 continue
-            cached = self._last_reply.get(request.client_id)
-            if cached is not None and request.sequence <= cached[0]:
-                continue
             self.counters.requests_executed += 1
             self._executed_ids.add(rid)
+            cached = self._last_reply.get(request.client_id)
             if cached is None or request.sequence >= cached[0]:
                 self._last_reply[request.client_id] = (request.sequence, None, regency)
-                if cached is not None:
-                    self._executed_ids.discard((request.client_id, cached[0]))
 
     def _execute_batch(
         self,
@@ -538,9 +566,11 @@ class ServiceReplica:
     ) -> None:
         to_run: List[ClientRequest] = []
         for request in batch:
-            rid = request.request_id
-            cached = self._last_reply.get(request.client_id)
-            if (cached is not None and request.sequence <= cached[0]) or rid in self._executed_ids:
+            # dedup by exact request id only: clients submit asynchronously
+            # with many outstanding sequences, so after a leader change a
+            # *lower* sequence may legitimately be ordered after a higher
+            # one and must still execute
+            if request.request_id in self._executed_ids:
                 self.counters.duplicate_requests += 1
                 continue
             to_run.append(request)
@@ -571,8 +601,6 @@ class ServiceReplica:
             cached = self._last_reply.get(request.client_id)
             if cached is None or request.sequence >= cached[0]:
                 self._last_reply[request.client_id] = (request.sequence, result, regency)
-                if cached is not None:
-                    self._executed_ids.discard((request.client_id, cached[0]))
         self.replier(self, request, result, regency, tentative)
 
     # ------------------------------------------------------------------
@@ -666,6 +694,7 @@ class ServiceReplica:
         self._schedule_timeout_check()
         if self.crashed or self.synchronizer.changing_regency:
             return
+        self._check_missed_decision()
         age = self.pending.oldest_age(self.sim.now)
         if age is None:
             self._forwarded = False
@@ -684,6 +713,20 @@ class ServiceReplica:
     # ------------------------------------------------------------------
     def _check_gap(self, cid: int) -> None:
         if cid > self.last_executed + self.config.state_transfer_gap:
+            self.state_transfer.start()
+
+    def _check_missed_decision(self) -> None:
+        """Catch-up probe: a *later* instance is decided while the next
+        one in order is not -- the quorum messages for the gap were lost
+        (crash, partition, lossy link), and nobody retransmits old
+        votes, so fetch the missing decisions from peers instead."""
+        next_inst = self.instances.get(self.last_executed + 1)
+        if next_inst is not None and next_inst.decided:
+            return  # execution will progress on its own
+        if any(
+            inst.decided and inst.cid > self.last_executed + 1
+            for inst in self.instances.values()
+        ):
             self.state_transfer.start()
 
     # ------------------------------------------------------------------

@@ -64,6 +64,8 @@ class Synchronizer:
         partitions or drops are retransmitted (standing in for the TCP
         retransmission real BFT-SMaRt channels provide).
         """
+        if self.replica.faults.suppress_sync:
+            return
         target = self.replica.regency + 1
         self._send_stop(target, force=True)
 
@@ -99,6 +101,8 @@ class Synchronizer:
     def on_stop(self, src: int, msg: Stop) -> None:
         if src not in self.replica.view.weights:
             return
+        if self.replica.faults.suppress_sync:
+            return  # fault injection: boycott the synchronization phase
         if msg.next_regency <= self.replica.regency:
             return
         self._record_stop(src, msg.next_regency)
@@ -223,9 +227,6 @@ class Synchronizer:
         for report in reports.values():
             for request in report.pending:
                 if request.request_id in replica._executed_ids:
-                    continue
-                cached = replica._last_reply.get(request.client_id)
-                if cached is not None and request.sequence <= cached[0]:
                     continue
                 merged.setdefault(request.request_id, request)
         batch = sorted(merged.values(), key=lambda r: r.uid)

@@ -9,6 +9,7 @@ import pytest
 
 from repro.bench.figures import geo_latency_experiment
 from repro.bench.topology import aws_latency_model
+from repro.faults import CensorClient, Drop, FaultInjector, Match
 from tests.conftest import Cluster
 
 
@@ -100,10 +101,9 @@ class TestAdversarialNetworks:
         leader-change machinery and client retransmissions always
         recover."""
         cluster = Cluster(request_timeout=0.4)
-        for a in range(4):
-            for b in range(4):
-                if a != b:
-                    cluster.network.set_drop_rate(a, b, 0.10)
+        injector = FaultInjector(cluster.network, cluster.replicas)
+        replica_links = Match(src=tuple(range(4)), dst=tuple(range(4)))
+        injector.start(Drop(replica_links, rate=0.10))
         proxy = cluster.proxy(invoke_timeout=2.0, max_retries=40)
         futures = [proxy.invoke(i) for i in range(10)]
         assert cluster.drain(futures, deadline=120.0)
@@ -118,21 +118,8 @@ class TestAdversarialNetworks:
         client eventually gets served."""
         cluster = Cluster(request_timeout=0.4)
         victim = cluster.proxy(invoke_timeout=4.0, max_retries=30)
-        from repro.smart.messages import ClientRequest, ForwardedRequest
-
-        def censor(src, dst, payload):
-            if dst != 0:
-                return payload
-            if isinstance(payload, ClientRequest) and payload.client_id == victim.client_id:
-                return None
-            if (
-                isinstance(payload, ForwardedRequest)
-                and payload.request.client_id == victim.client_id
-            ):
-                return None
-            return payload
-
-        cluster.network.add_filter(censor)
+        injector = FaultInjector(cluster.network, cluster.replicas)
+        injector.start(CensorClient(victim.client_id, at=0))
         future = victim.invoke(42)
         assert cluster.drain([future], deadline=90.0)
         assert future.value == 42

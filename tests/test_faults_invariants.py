@@ -1,0 +1,161 @@
+"""Invariant-checker tests, including mutation tests proving teeth.
+
+A checker that never fires is worthless: the mutation tests disable a
+safety check inside one replica (``SkipQuorumChecks``) while a
+Byzantine leader equivocates, and assert the fork invariants *do*
+flag the resulting divergence.  The clean-cluster tests establish the
+baseline: no faults, no violations.
+"""
+
+import pytest
+
+from repro.faults import (
+    BlockRecorder,
+    EquivocatePropose,
+    FaultInjector,
+    SkipQuorumChecks,
+    Violation,
+    check_frontend_agreement,
+    check_history_prefixes,
+    check_liveness,
+    check_log_agreement,
+    replica_log_digests,
+)
+from tests.conftest import Cluster
+
+pytestmark = pytest.mark.faults
+
+
+class TestHistoryPrefixes:
+    def test_identical_histories_pass(self):
+        histories = {0: [1, 2, 3], 1: [1, 2, 3], 2: [1, 2]}
+        assert check_history_prefixes(histories) == []
+
+    def test_divergence_flagged_with_position(self):
+        histories = {0: [1, 2, 3], 1: [1, 9, 3]}
+        (violation,) = check_history_prefixes(histories)
+        assert violation.invariant == "fork"
+        assert "position 1" in violation.detail
+
+    def test_exclude_skips_byzantine_replicas(self):
+        histories = {0: [1, 2], 1: [1, 2], 3: [7, 7]}
+        assert check_history_prefixes(histories, exclude=[3]) == []
+
+
+class TestLogAgreement:
+    def test_agreeing_logs_pass(self):
+        logs = {0: {0: b"a", 1: b"b"}, 1: {0: b"a"}, 2: {1: b"b"}}
+        assert check_log_agreement(logs) == []
+
+    def test_conflicting_instance_flagged(self):
+        logs = {0: {5: b"a"}, 1: {5: b"DIFFERENT"}}
+        (violation,) = check_log_agreement(logs)
+        assert violation.invariant == "fork"
+        assert "instance 5" in violation.detail
+
+
+class TestBlockRecorder:
+    def make_delivery(self, source, number, data):
+        from repro.fabric.api import BlockDelivery
+        from repro.fabric.block import Block, BlockHeader
+
+        header = BlockHeader(number=number, previous_hash=b"p", data_hash=data)
+        block = Block(header=header, envelopes=[], channel_id="ch0")
+        return BlockDelivery(block=block, source=source)
+
+    def test_agreement_passes(self):
+        recorder = BlockRecorder()
+        for node in ("a", "b", "c"):
+            recorder("x", "fe", self.make_delivery(node, 0, b"same"))
+        assert recorder.check() == []
+
+    def test_equivocation_flagged(self):
+        recorder = BlockRecorder()
+        recorder("x", "fe", self.make_delivery("a", 0, b"one"))
+        recorder("x", "fe", self.make_delivery("a", 0, b"two"))
+        violations = recorder.check()
+        assert any(v.invariant == "block-equivocation" for v in violations)
+
+    def test_cross_node_fork_flagged(self):
+        recorder = BlockRecorder()
+        recorder("x", "fe", self.make_delivery("a", 0, b"one"))
+        recorder("x", "fe", self.make_delivery("b", 0, b"two"))
+        violations = recorder.check()
+        assert any(v.invariant == "block-fork" for v in violations)
+
+    def test_passthrough_returns_payload(self):
+        recorder = BlockRecorder()
+        assert recorder("x", "y", "anything") == "anything"
+
+
+class TestLiveness:
+    def test_all_delivered_passes(self):
+        assert check_liveness(10, 10) == []
+        assert check_liveness(10, 12) == []  # duplicates are not a stall
+
+    def test_shortfall_flagged(self):
+        (violation,) = check_liveness(10, 8)
+        assert violation.invariant == "liveness"
+        assert "8 of 10" in violation.detail
+
+
+class TestCleanCluster:
+    def test_no_faults_no_violations(self):
+        cluster = Cluster()
+        proxy = cluster.proxy()
+        futures = [proxy.invoke(i + 1) for i in range(6)]
+        assert cluster.drain(futures)
+        histories = {
+            r.replica_id: app.history
+            for r, app in zip(cluster.replicas, cluster.apps)
+        }
+        assert check_history_prefixes(histories) == []
+        assert check_log_agreement(replica_log_digests(cluster.replicas)) == []
+
+
+class TestMutationFork:
+    """Disable a replica's quorum checks under an equivocating leader:
+    the fork MUST be caught.  This proves the invariant checkers can
+    actually see the failure they exist for."""
+
+    def run_poisoned_cluster(self):
+        cluster = Cluster(request_timeout=0.4)
+        injector = FaultInjector(cluster.network, cluster.replicas)
+        # leader 0 sends forged batches to replica 1, which (mutated)
+        # no longer waits for quorums before deciding
+        injector.start(EquivocatePropose(leader=0, victims=1))
+        injector.start(SkipQuorumChecks(1))
+        proxy = cluster.proxy(invoke_timeout=4.0, max_retries=10)
+        futures = [proxy.invoke(i + 1) for i in range(3)]
+        cluster.drain(futures, deadline=30.0)
+        return cluster
+
+    def test_fork_caught_by_history_invariant(self):
+        cluster = self.run_poisoned_cluster()
+        histories = {
+            r.replica_id: app.history
+            for r, app in zip(cluster.replicas, cluster.apps)
+        }
+        # the mutated replica executed the poison operation...
+        assert -999 in histories[1]
+        # ...and the invariant checker flags the divergence
+        violations = check_history_prefixes(histories)
+        assert any(v.invariant == "fork" for v in violations)
+
+    def test_fork_caught_by_log_agreement(self):
+        cluster = self.run_poisoned_cluster()
+        violations = check_log_agreement(replica_log_digests(cluster.replicas))
+        assert any(v.invariant == "fork" for v in violations)
+
+    def test_excluding_the_byzantine_replica_restores_agreement(self):
+        """Correct replicas never fork even while 1 is compromised."""
+        cluster = self.run_poisoned_cluster()
+        histories = {
+            r.replica_id: app.history
+            for r, app in zip(cluster.replicas, cluster.apps)
+        }
+        assert check_history_prefixes(histories, exclude=[1]) == []
+        assert (
+            check_log_agreement(replica_log_digests(cluster.replicas), exclude=[1])
+            == []
+        )

@@ -2,14 +2,21 @@
 
 These exercise the attacks the BFT machinery exists to stop: an
 equivocating leader, forged value responses, fake votes from outside
-the view, and network partitions.
+the view, and network partitions.  Message-level attacks are expressed
+with the :mod:`repro.faults` DSL.
 """
 
 import pytest
 
 from repro.crypto.hashing import sha256
+from repro.faults import (
+    CorruptWrites,
+    EquivocatePropose,
+    FaultInjector,
+    Partition,
+)
 from repro.smart.consensus import batch_hash
-from repro.smart.messages import Accept, ClientRequest, Propose, ValueResponse, Write
+from repro.smart.messages import Accept, ClientRequest, Propose, ValueResponse
 from tests.conftest import Cluster
 
 
@@ -23,26 +30,9 @@ class TestEquivocatingLeader:
         cluster = Cluster(request_timeout=0.4)
         proxy = cluster.proxy(invoke_timeout=4.0, max_retries=20)
 
-        flip = {"count": 0}
-
-        def equivocate(src, dst, payload):
-            # replica 0 (leader) sends a corrupted batch to replica 1
-            if isinstance(payload, Propose) and src == 0 and dst == 1:
-                fake_request = ClientRequest(
-                    client_id=666, sequence=flip["count"], operation=-999
-                )
-                flip["count"] += 1
-                fake_batch = [fake_request]
-                return Propose(
-                    sender=0,
-                    cid=payload.cid,
-                    regency=payload.regency,
-                    batch=fake_batch,
-                    value_hash=batch_hash(payload.cid, fake_batch),
-                )
-            return payload
-
-        cluster.network.add_filter(equivocate)
+        injector = FaultInjector(cluster.network, cluster.replicas)
+        # replica 0 (leader) sends a poisoned batch to replica 1
+        injector.start(EquivocatePropose(leader=0, victims=1))
         futures = [proxy.invoke(i + 1) for i in range(3)]
         cluster.drain(futures, deadline=60.0)
         # safety: every pair of replica histories is prefix-consistent
@@ -57,12 +47,8 @@ class TestEquivocatingLeader:
         cluster = Cluster(request_timeout=0.4)
         proxy = cluster.proxy(invoke_timeout=4.0, max_retries=10)
 
-        def corrupt_writes(src, dst, payload):
-            if isinstance(payload, Write) and src == 3 and dst in (1, 2):
-                return Write(3, payload.cid, payload.regency, sha256("garbage"))
-            return payload
-
-        cluster.network.add_filter(corrupt_writes)
+        injector = FaultInjector(cluster.network, cluster.replicas)
+        injector.start(CorruptWrites(source=3, victims=(1, 2)))
         futures = [proxy.invoke(i + 1) for i in range(5)]
         assert cluster.drain(futures, deadline=30.0)
         assert cluster.prefix_consistent()
@@ -128,12 +114,13 @@ class TestPartitions:
         cluster = Cluster(request_timeout=0.4)
         proxy = cluster.proxy(invoke_timeout=3.0, max_retries=30)
         assert cluster.drain([proxy.invoke(1)])
+        injector = FaultInjector(cluster.network, cluster.replicas)
         # cut replicas {2,3} off from {0,1}: no quorum anywhere
-        cluster.network.partition([0, 1], [2, 3])
+        split = injector.start(Partition([0, 1], [2, 3]))
         stalled = proxy.invoke(2)
         cluster.run(3.0)
         assert not stalled.done
-        cluster.network.heal()
+        injector.stop(split)
         assert cluster.drain([stalled], deadline=60.0)
         assert stalled.value == 3
 
@@ -141,7 +128,8 @@ class TestPartitions:
         cluster = Cluster(request_timeout=0.4)
         proxy = cluster.proxy(invoke_timeout=3.0, max_retries=30)
         assert cluster.drain([proxy.invoke(1)])
-        cluster.network.partition([0], [1, 2, 3])
+        injector = FaultInjector(cluster.network, cluster.replicas)
+        injector.start(Partition([0], [1, 2, 3]))
         future = proxy.invoke(2)
         assert cluster.drain([future], deadline=60.0)
         # the majority side elected a new leader and decided
