@@ -5,7 +5,12 @@ PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 SEEDS ?= 100
 START_SEED ?= 0
 
-.PHONY: test faults-smoke faults-explore
+# benchmark harness knobs (see docs/BENCHMARKS.md)
+BASELINE ?= benchmarks/baselines/BENCH_smoke.json
+CANDIDATE ?= BENCH_smoke.json
+TOLERANCE ?= 0.05
+
+.PHONY: test faults-smoke faults-explore bench-smoke bench-check bench-baseline bench-full
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
@@ -19,3 +24,25 @@ faults-smoke:
 faults-explore:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults \
 		--seeds $(SEEDS) --start-seed $(START_SEED) --shrink
+
+## quick benchmark pass over every registered benchmark's smoke matrix
+## (runs in seconds, writes BENCH_smoke.json)
+bench-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench run --smoke \
+		--name smoke --out $(CANDIDATE)
+
+## regression gate: compare a candidate run against the stored baseline
+## usage: make bench-check [BASELINE=...] [CANDIDATE=...] [TOLERANCE=0.05]
+bench-check:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench compare \
+		$(BASELINE) $(CANDIDATE) --tolerance $(TOLERANCE)
+
+## refresh the committed smoke baseline after an intentional perf change
+bench-baseline:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench run --smoke \
+		--name smoke --out $(BASELINE)
+
+## full paper-figure matrices (minutes); writes BENCH_full.json
+bench-full:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench run \
+		--name full --out BENCH_full.json

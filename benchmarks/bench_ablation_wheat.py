@@ -3,54 +3,43 @@
 WHEAT differs from BFT-SMaRt in two independent mechanisms (paper §4):
 the binary Vmax/Vmin vote weights and the tentative (deliver-after-
 WRITE) execution.  DESIGN.md calls out the question the paper leaves
-implicit: how much does each contribute?  This bench toggles them
-independently on the 5-replica geo deployment.
+implicit: how much does each contribute?  The registered
+``ablation_wheat`` matrix toggles them independently on the 5-replica
+geo deployment; ``ablation_batching`` sweeps BFT-SMaRt's batch limit.
 """
 
 import pytest
 
-from repro.bench.figures import wheat_ablation
-from repro.bench.model import OrderingCapacityModel
-from repro.bench.tables import render_ablation
+pytestmark = pytest.mark.bench
 
 
-@pytest.mark.benchmark(group="ablation")
-def test_batch_limit_ablation(benchmark, record_result):
+def test_batch_limit_ablation(bench_result):
     """Sweep BFT-SMaRt's batch limit: batching amortizes per-consensus
     vote traffic, so small batches hurt small-envelope throughput and
     barely matter for 4 KB envelopes (bandwidth-bound)."""
+    result = bench_result("ablation_batching")
+    batches = (1, 10, 50, 100, 400)
 
-    def sweep():
-        rows = {}
-        for batch in (1, 10, 50, 100, 400):
-            model = OrderingCapacityModel(n=4, batch_limit=batch)
-            rows[batch] = {
-                es: model.throughput(es, 10, 2) for es in (40, 4096)
-            }
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    lines = ["Batch-limit ablation (4 orderers, 10 env/block, 2 receivers)",
-             f"{'batch':>6} | {'40 B tx/s':>10} | {'4 KB tx/s':>10}"]
-    for batch, row in sorted(rows.items()):
-        lines.append(f"{batch:>6} | {row[40]:>10.0f} | {row[4096]:>10.0f}")
-    record_result("ablation_batching", "\n".join(lines))
-
-    small = [rows[b][40] for b in (1, 10, 50, 100, 400)]
+    small = [
+        result.value("tx_per_sec", batch_limit=b, envelope_size=40)
+        for b in batches
+    ]
     assert all(a <= b * 1.0001 for a, b in zip(small, small[1:]))  # monotone
-    assert rows[400][40] > 1.5 * rows[1][40]  # batching matters a lot
-    large = [rows[b][4096] for b in (10, 50, 100, 400)]
+    assert small[-1] > 1.5 * small[0]  # batching matters a lot
+    large = [
+        result.value("tx_per_sec", batch_limit=b, envelope_size=4096)
+        for b in (10, 50, 100, 400)
+    ]
     assert max(large) < min(large) * 1.05  # 4 KB is bandwidth-bound
 
 
-@pytest.mark.benchmark(group="ablation")
-def test_wheat_ablation(benchmark, record_result):
-    results = benchmark.pedantic(
-        lambda: wheat_ablation(duration=6.0), rounds=1, iterations=1
-    )
-    record_result("ablation_wheat", render_ablation(results))
+def test_wheat_ablation(bench_result):
+    result = bench_result("ablation_wheat")
 
-    by_config = {(r.weights, r.tentative): r.median for r in results}
+    by_config = {
+        (p.params["weights"], p.params["tentative"]): p.metrics["median_s"].median
+        for p in result.points
+    }
     baseline = by_config[(False, False)]
     weights_only = by_config[(True, False)]
     tentative_only = by_config[(False, True)]

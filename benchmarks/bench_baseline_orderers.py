@@ -5,101 +5,31 @@ tolerance), Kafka-like (crash-fault-tolerant) and the paper's BFT
 service on the same LAN workload.  The point is qualitative: the BFT
 service pays a modest latency premium over the weaker designs while
 being the only one to survive Byzantine ordering nodes.
+
+Runs the registered ``baseline_orderers`` matrix through the harness
+(the per-orderer runners live in ``repro.bench.suite``).
 """
 
 import pytest
 
-from repro.crypto.keys import KeyRegistry
-from repro.crypto.signatures import SimulatedECDSA
-from repro.fabric.channel import ChannelConfig
-from repro.fabric.envelope import Envelope
-from repro.fabric.orderers import KafkaCluster, KafkaOrderer, SoloOrderer
-from repro.ordering import OrderingServiceConfig, build_ordering_service
-from repro.sim import ConstantLatency, Network, Simulator
-from repro.sim.monitor import StatsRegistry
-
-ENVELOPES = 2000
-SIZE = 1024
-BLOCK = 10
+pytestmark = pytest.mark.bench
 
 
-def _run_solo():
-    sim = Simulator()
-    network = Network(sim, ConstantLatency(0.0001))
-    registry = KeyRegistry(scheme=SimulatedECDSA())
-    channel = ChannelConfig("ch0", max_message_count=BLOCK, batch_timeout=0.5)
-    stats = StatsRegistry()
-    orderer = SoloOrderer(
-        sim, network, "solo", registry.enroll("solo"), channel, stats=stats
-    )
-    network.register("solo", orderer)
-    for _ in range(ENVELOPES):
-        orderer.submit(Envelope.raw("ch0", SIZE))
-    sim.run(until=5.0)
-    recorder = stats.latency("solo.latency")
-    return recorder.median, orderer.blocks_created
+def test_baseline_orderer_comparison(bench_result):
+    result = bench_result("baseline_orderers")
 
-
-def _run_kafka():
-    sim = Simulator()
-    network = Network(sim, ConstantLatency(0.0001))
-    registry = KeyRegistry(scheme=SimulatedECDSA())
-    channel = ChannelConfig("ch0", max_message_count=BLOCK, batch_timeout=0.5)
-    stats = StatsRegistry()
-    cluster = KafkaCluster(sim, network, num_brokers=3)
-    orderer = KafkaOrderer(
-        sim, network, "korderer0", registry.enroll("korderer0"), cluster, channel,
-        stats=stats,
-    )
-    for _ in range(ENVELOPES):
-        orderer.submit(Envelope.raw("ch0", SIZE))
-    sim.run(until=5.0)
-    recorder = stats.latency("korderer0.latency")
-    return recorder.median, orderer.blocks_created
-
-
-def _run_bft():
-    config = OrderingServiceConfig(
-        f=1,
-        channel=ChannelConfig("ch0", max_message_count=BLOCK, batch_timeout=0.5),
-        physical_cores=None,
-        latency=ConstantLatency(0.0001),
-    )
-    service = build_ordering_service(config)
-    for _ in range(ENVELOPES):
-        service.submit(Envelope.raw("ch0", SIZE))
-    service.run(5.0)
-    recorder = service.stats.latency(f"{service.frontends[0].name}.latency")
-    return recorder.median, service.nodes[0].blocks_created
-
-
-@pytest.mark.benchmark(group="baselines")
-def test_baseline_orderer_comparison(benchmark, record_result):
-    def run_all():
-        return {"solo": _run_solo(), "kafka": _run_kafka(), "bft": _run_bft()}
-
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    lines = [
-        "Ordering-service baselines (LAN, 1 KB envelopes, blocks of 10)",
-        f"{'service':>8} | {'median latency (ms)':>20} | {'blocks':>7} | fault model",
-    ]
-    fault_models = {
-        "solo": "none (single point of failure)",
-        "kafka": "crash faults only",
-        "bft": "f Byzantine nodes",
-    }
-    for name, (median, blocks) in results.items():
-        lines.append(
-            f"{name:>8} | {median * 1000:>20.2f} | {blocks:>7} | {fault_models[name]}"
-        )
-    record_result("baselines", "\n".join(lines))
-
+    envelopes = result.points[0].params["envelopes"]
+    block = result.points[0].params["block_size"]
+    expected_blocks = envelopes // block
     # all three order everything
-    expected_blocks = ENVELOPES // BLOCK
-    for name, (_median, blocks) in results.items():
-        assert blocks == expected_blocks, name
+    for point in result.points:
+        assert point.metrics["blocks"].median == expected_blocks, point.params
+
+    solo = result.value("median_latency_s", orderer="solo")
+    kafka = result.value("median_latency_s", orderer="kafka")
+    bft = result.value("median_latency_s", orderer="bft")
     # solo is fastest (no replication), BFT costs more than Kafka-CFT,
     # but all stay in the same order of magnitude on a LAN
-    assert results["solo"][0] <= results["kafka"][0]
-    assert results["kafka"][0] <= results["bft"][0] * 1.5
-    assert results["bft"][0] < 0.05
+    assert solo <= kafka
+    assert kafka <= bft * 1.5
+    assert bft < 0.05

@@ -6,22 +6,22 @@ the dual quad-core Xeon E5520 (8 cores / 16 HT threads), peaking at
 this bounds the ordering service at 84,000 tx/s.  §6.1 also notes the
 rate is independent of envelope/block size (only the header is
 signed).
+
+Runs the registered ``fig6_signing`` / ``fig6_invariance`` matrices
+through the harness (see ``repro.bench.suite``).
 """
 
 import pytest
 
-from repro.bench.figures import figure6, figure6_invariance
-from repro.bench.tables import render_figure6
+pytestmark = pytest.mark.bench
 
 
-@pytest.mark.benchmark(group="figure6")
-def test_figure6_signature_scaling(benchmark, record_result):
-    results = benchmark.pedantic(
-        lambda: figure6(workers=tuple(range(1, 17))), rounds=1, iterations=1
-    )
-    record_result("figure6", render_figure6(results))
+def test_figure6_signature_scaling(bench_result):
+    result = bench_result("fig6_signing")
 
-    measured = {w: row["measured"] for w, row in results.items()}
+    measured = {
+        p.params["workers"]: p.metrics["sig_per_sec"].median for p in result.points
+    }
     # paper shape 1: monotone scaling with workers
     ordered = [measured[w] for w in sorted(measured)]
     assert all(a <= b * 1.001 for a, b in zip(ordered, ordered[1:]))
@@ -33,19 +33,18 @@ def test_figure6_signature_scaling(benchmark, record_result):
     gain_per_thread_high = (measured[16] - measured[8]) / 8.0
     assert gain_per_thread_high < 0.5 * gain_per_thread_low
     # paper headline: 84,000 tx/s theoretical bound at 10 env/block
-    assert measured[16] * 10 == pytest.approx(84000, rel=0.05)
+    assert result.value("tx_per_sec_bound", workers=16) == pytest.approx(
+        84000, rel=0.05
+    )
     # simulation agrees with the closed-form model
-    for workers, row in results.items():
-        assert row["measured"] == pytest.approx(row["model"], rel=0.02)
+    for point in result.points:
+        assert point.metrics["sig_per_sec"].median == pytest.approx(
+            point.metrics["model_sig_per_sec"].median, rel=0.02
+        )
 
 
-@pytest.mark.benchmark(group="figure6")
-def test_figure6_rate_independent_of_sizes(benchmark, record_result):
+def test_figure6_rate_independent_of_sizes(bench_result):
     """§6.1: header-only signing makes the rate size-invariant."""
-    results = benchmark.pedantic(figure6_invariance, rounds=1, iterations=1)
-    rates = set(results.values())
+    result = bench_result("fig6_invariance")
+    rates = {p.metrics["sig_per_sec"].median for p in result.points}
     assert len(rates) == 1
-    lines = ["§6.1 size invariance: signatures/second by (envelope, block) size"]
-    for (es, bs), rate in sorted(results.items()):
-        lines.append(f"  es={es:>5}B bs={bs:>4}: {rate:8.0f} sig/s")
-    record_result("figure6_invariance", "\n".join(lines))

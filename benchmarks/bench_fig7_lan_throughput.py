@@ -14,9 +14,10 @@ Paper results reproduced as shapes:
 - at 16-32 receivers, block- and cluster-size variants of the same
   envelope size converge.
 
-The six panels come from the calibrated capacity model; a full-stack
-discrete-event simulation cross-validates an operating point per
-binding resource.
+The six panels come from the registered ``fig7_capacity`` matrix
+(calibrated capacity model); the registered ``fig7_lan_sim`` matrix
+cross-validates operating points on the full-stack discrete-event
+simulation.
 """
 
 import pytest
@@ -26,28 +27,40 @@ from repro.bench.figures import (
     CLUSTER_SIZES,
     ENVELOPE_SIZES,
     RECEIVER_COUNTS,
-    figure7_all_panels,
-    figure7_panel,
-    simulate_lan_throughput,
 )
-from repro.bench.tables import render_figure7_panel, render_lan_sim
+
+pytestmark = pytest.mark.bench
 
 
-@pytest.mark.benchmark(group="figure7")
-def test_figure7_all_panels(benchmark, record_result):
-    panels = benchmark.pedantic(figure7_all_panels, rounds=1, iterations=1)
-    text = []
-    for (orderers, block_size), panel in sorted(panels.items()):
-        text.append(render_figure7_panel(orderers, block_size, panel))
-    record_result("figure7", "\n\n".join(text))
+def test_figure7_all_panels(bench_result):
+    result = bench_result("fig7_capacity")
 
-    for (orderers, block_size), panel in panels.items():
+    def panel(orderers, block_size):
+        return {
+            es: {
+                r: result.value(
+                    "tx_per_sec",
+                    orderers=orderers,
+                    block_size=block_size,
+                    envelope_size=es,
+                    receivers=r,
+                )
+                for r in RECEIVER_COUNTS
+            }
+            for es in ENVELOPE_SIZES
+        }
+
+    panels = {
+        (n, bs): panel(n, bs) for n in CLUSTER_SIZES for bs in BLOCK_SIZES
+    }
+
+    for (orderers, block_size), rows in panels.items():
         for es in ENVELOPE_SIZES:
-            series = [panel[es][r] for r in RECEIVER_COUNTS]
+            series = [rows[es][r] for r in RECEIVER_COUNTS]
             # shape: monotone non-increasing in receivers
             assert all(a >= b * 0.999 for a, b in zip(series, series[1:]))
         for r in RECEIVER_COUNTS:
-            by_size = [panel[es][r] for es in ENVELOPE_SIZES]
+            by_size = [rows[es][r] for es in ENVELOPE_SIZES]
             # shape: smaller envelopes never do worse
             assert all(a >= b * 0.999 for a, b in zip(by_size, by_size[1:]))
 
@@ -71,42 +84,26 @@ def test_figure7_all_panels(benchmark, record_result):
         assert (max(at_32) / min(at_32)) < (max(at_1) / min(at_1)) * 1.01
 
 
-@pytest.mark.benchmark(group="figure7")
-def test_figure7_block_rate_about_1100(benchmark, record_result):
+def test_figure7_block_rate_about_1100(bench_result):
     """§6.2: ~1,100 blocks/s when cutting 100-envelope blocks."""
-    panel = benchmark.pedantic(
-        lambda: figure7_panel(4, 100), rounds=1, iterations=1
-    )
-    block_rate = panel[200][4] / 100.0
-    record_result(
-        "figure7_blockrate",
-        f"block rate at (4 orderers, 100 env/block, 200 B, 4 recv): "
-        f"{block_rate:.0f} blocks/s (paper: ~1,100)",
+    result = bench_result("fig7_capacity")
+    block_rate = result.value(
+        "blocks_per_sec", orderers=4, block_size=100, envelope_size=200, receivers=4
     )
     assert 300 < block_rate < 3_000
 
 
-@pytest.mark.benchmark(group="figure7-sim")
-def test_figure7_simulation_cross_validation(benchmark, record_result):
-    """Full-stack DES vs capacity model on three operating points."""
+def test_figure7_simulation_cross_validation(bench_result):
+    """Full-stack DES vs capacity model across operating points."""
+    result = bench_result("fig7_lan_sim")
 
-    def run_all():
-        return [
-            # propose-bandwidth-bound: model and sim should agree well
-            simulate_lan_throughput(4, 10, 1024, 2, duration=1.0, warmup=0.3),
-            # signing-bound small envelopes
-            simulate_lan_throughput(4, 10, 200, 1, duration=0.6, warmup=0.2),
-            # dissemination-heavy
-            simulate_lan_throughput(4, 10, 4096, 8, duration=1.0, warmup=0.3),
-        ]
-
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    record_result("figure7_sim_validation", render_lan_sim(results))
-    bw_bound = results[0]
-    assert bw_bound.generated_rate == pytest.approx(
-        bw_bound.model_prediction, rel=0.25
-    )
-    for result in results:
-        # same order of magnitude in every regime
-        assert result.generated_rate > result.model_prediction * 0.3
-        assert result.generated_rate < result.model_prediction * 3.0
+    # propose-bandwidth-bound point: model and sim agree well
+    generated = result.value("generated_tx_per_sec", envelope_size=1024, receivers=2)
+    predicted = result.value("model_tx_per_sec", envelope_size=1024, receivers=2)
+    assert generated == pytest.approx(predicted, rel=0.25)
+    # same order of magnitude in every regime
+    for point in result.points:
+        model = point.metrics["model_tx_per_sec"].median
+        sim = point.metrics["generated_tx_per_sec"].median
+        assert sim > model * 0.3
+        assert sim < model * 3.0

@@ -6,39 +6,30 @@ here the *entire* system (clients -> frontends -> BFT-SMaRt consensus
 NIC) runs end to end while the number of receivers sweeps 1 -> 4 -> 16,
 and end-to-end delivered throughput must fall monotonically -- the
 paper's headline LAN effect.
+
+Asserts on the receiver axis of the registered ``fig7_lan_sim`` matrix.
 """
 
 import pytest
 
-from repro.bench.figures import simulate_lan_throughput
-from repro.bench.tables import render_lan_sim
+pytestmark = pytest.mark.bench
 
 
-@pytest.mark.benchmark(group="figure7-sim")
-def test_receiver_sweep_end_to_end(benchmark, record_result):
-    def sweep():
-        return [
-            simulate_lan_throughput(
-                orderers=4,
-                block_size=10,
-                envelope_size=1024,
-                receivers=receivers,
-                duration=1.0,
-                warmup=0.3,
-            )
-            for receivers in (1, 4, 16)
-        ]
+def test_receiver_sweep_end_to_end(bench_result):
+    result = bench_result("fig7_lan_sim")
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    record_result("figure7_receiver_sweep_sim", render_lan_sim(results))
-
-    delivered = [r.delivered_rate for r in results]
+    delivered = dict(
+        result.series("delivered_tx_per_sec", over="receivers", envelope_size=1024)
+    )
     # the paper's shape: fewer transactions get through as fan-out grows
-    assert delivered[0] >= delivered[1] * 0.99
-    assert delivered[1] > delivered[2]
+    assert delivered[1] >= delivered[4] * 0.99
+    assert delivered[4] > delivered[16]
     # and the decline is substantial by 16 receivers (NIC-bound)
-    assert delivered[2] < 0.8 * delivered[0]
+    assert delivered[16] < 0.8 * delivered[1]
     # generation at node 0 stays decoupled from fan-out only until the
     # NIC saturates; sanity-check it never exceeds the offered load
-    for result in results:
-        assert result.generated_rate <= result.offered_rate * 1.05
+    for point in result.points:
+        assert (
+            point.metrics["generated_tx_per_sec"].median
+            <= point.metrics["offered_tx_per_sec"].median * 1.05
+        )

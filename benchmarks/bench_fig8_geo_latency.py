@@ -10,63 +10,59 @@ in Canada/Oregon/Virginia/São Paulo:
 - frontend placement matters more: São Paulo (Vmin side) is slower
   than the Vmax-collocated frontends under WHEAT;
 - absolute medians sit around half a second or below.
+
+Runs the registered ``fig8_geo`` matrix through the harness.
 """
 
 import pytest
 
-from repro.bench.figures import GEO_FRONTEND_SITES, figure8
-from repro.bench.tables import render_geo_results
+from repro.bench.figures import ENVELOPE_SIZES, GEO_FRONTEND_SITES
 
-ENVELOPE_SIZES = (40, 200, 1024, 4096)
+pytestmark = pytest.mark.bench
 
 
-@pytest.mark.benchmark(group="figure8")
-def test_figure8_geo_latency(benchmark, record_result):
-    results = benchmark.pedantic(
-        lambda: figure8(envelope_sizes=ENVELOPE_SIZES, duration=6.0, rate=1100.0),
-        rounds=1,
-        iterations=1,
-    )
-    record_result(
-        "figure8",
-        render_geo_results("Figure 8: geo latency, blocks of 10 envelopes", results),
-    )
+def test_figure8_geo_latency(bench_result):
+    result = bench_result("fig8_geo")
 
     for es in ENVELOPE_SIZES:
+        bft = result.point(protocol="bftsmart", envelope_size=es).metrics
+        wheat = result.point(protocol="wheat", envelope_size=es).metrics
         for region in GEO_FRONTEND_SITES:
-            bft = next(
-                r for r in results["bftsmart"][es] if r.frontend_region == region
-            )
-            wheat = next(
-                r for r in results["wheat"][es] if r.frontend_region == region
-            )
             # shape 1: WHEAT consistently beats BFT-SMaRt
-            assert wheat.median < bft.median
-            assert wheat.p90 < bft.p90
+            assert wheat[f"{region}_median_s"].median < bft[f"{region}_median_s"].median
+            assert wheat[f"{region}_p90_s"].median < bft[f"{region}_p90_s"].median
             # sanity: enough samples and sustained >1000 tx/s
-            assert bft.samples > 1000
-            assert bft.throughput > 1000
-            assert wheat.throughput > 1000
+            assert bft[f"{region}_samples"].median > 1000
+            assert bft[f"{region}_tx_per_sec"].median > 1000
+            assert wheat[f"{region}_tx_per_sec"].median > 1000
 
     # shape 2: WHEAT's improvement is large (paper: almost 50%)
     for es in ENVELOPE_SIZES:
-        bft_median = min(r.median for r in results["bftsmart"][es])
-        wheat_median = min(r.median for r in results["wheat"][es])
+        bft = result.point(protocol="bftsmart", envelope_size=es).metrics
+        wheat = result.point(protocol="wheat", envelope_size=es).metrics
+        bft_median = min(
+            bft[f"{r}_median_s"].median for r in GEO_FRONTEND_SITES
+        )
+        wheat_median = min(
+            wheat[f"{r}_median_s"].median for r in GEO_FRONTEND_SITES
+        )
         assert wheat_median < 0.75 * bft_median
 
     # shape 3: envelope size has minor impact on latency
     for protocol in ("bftsmart", "wheat"):
         for region in GEO_FRONTEND_SITES:
             medians = [
-                next(
-                    r
-                    for r in results[protocol][es]
-                    if r.frontend_region == region
-                ).median
+                result.value(
+                    f"{region}_median_s", protocol=protocol, envelope_size=es
+                )
                 for es in ENVELOPE_SIZES
             ]
             assert max(medians) - min(medians) < 0.120
 
     # shape 4: half-a-second medians with WHEAT (paper's headline)
     for es in ENVELOPE_SIZES:
-        assert all(r.median < 0.55 for r in results["wheat"][es])
+        wheat = result.point(protocol="wheat", envelope_size=es).metrics
+        assert all(
+            wheat[f"{region}_median_s"].median < 0.55
+            for region in GEO_FRONTEND_SITES
+        )

@@ -3,67 +3,50 @@
 Paper result: same pattern as Figure 8 but with higher latency (up to
 ~63 ms more), because at the same workload a 10x larger block size
 cuts blocks 10x less often, delaying envelope delivery.
+
+Compares the registered ``fig9_geo`` (100-envelope blocks) matrix
+against the corresponding ``fig8_geo`` (10-envelope blocks) points.
 """
 
 import pytest
 
-from repro.bench.figures import GEO_FRONTEND_SITES, figure8, figure9
+from repro.bench.figures import GEO_FRONTEND_SITES
+
+pytestmark = pytest.mark.bench
 
 ENVELOPE_SIZES = (200, 1024)  # representative subset (full sweep in fig8)
 
 
-@pytest.mark.benchmark(group="figure9")
-def test_figure9_geo_latency_blocks_of_100(benchmark, record_result):
-    def run_both():
-        small_blocks = figure8(
-            envelope_sizes=ENVELOPE_SIZES, block_size=10, duration=6.0
-        )
-        large_blocks = figure8(
-            envelope_sizes=ENVELOPE_SIZES, block_size=100, duration=6.0
-        )
-        return small_blocks, large_blocks
-
-    small_blocks, large_blocks = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    from repro.bench.tables import render_geo_results
-
-    record_result(
-        "figure9",
-        render_geo_results(
-            "Figure 9: geo latency, blocks of 100 envelopes", large_blocks
-        ),
-    )
+def test_figure9_geo_latency_blocks_of_100(bench_result):
+    small_blocks = bench_result("fig8_geo")
+    large_blocks = bench_result("fig9_geo")
 
     for es in ENVELOPE_SIZES:
         for protocol in ("bftsmart", "wheat"):
+            small = small_blocks.point(protocol=protocol, envelope_size=es).metrics
+            large = large_blocks.point(protocol=protocol, envelope_size=es).metrics
             for region in GEO_FRONTEND_SITES:
-                small = next(
-                    r
-                    for r in small_blocks[protocol][es]
-                    if r.frontend_region == region
-                )
-                large = next(
-                    r
-                    for r in large_blocks[protocol][es]
-                    if r.frontend_region == region
-                )
                 # shape 1: larger blocks -> higher latency at the same load
-                assert large.median > small.median * 0.98
-            # WHEAT still wins with 100-envelope blocks
-            bft = next(
-                r
-                for r in large_blocks["bftsmart"][es]
-                if r.frontend_region == "virginia"
-            )
-            wheat = next(
-                r
-                for r in large_blocks["wheat"][es]
-                if r.frontend_region == "virginia"
-            )
-            assert wheat.median < bft.median
+                assert (
+                    large[f"{region}_median_s"].median
+                    > small[f"{region}_median_s"].median * 0.98
+                )
+        # WHEAT still wins with 100-envelope blocks
+        bft = large_blocks.value("virginia_median_s", protocol="bftsmart",
+                                 envelope_size=es)
+        wheat = large_blocks.value("virginia_median_s", protocol="wheat",
+                                   envelope_size=es)
+        assert wheat < bft
 
     # shape 2: the increase is moderate (tens of milliseconds at this
     # load, matching the paper's "up to 63 ms higher")
     for es in ENVELOPE_SIZES:
-        small = min(r.median for r in small_blocks["wheat"][es])
-        large = min(r.median for r in large_blocks["wheat"][es])
+        small = min(
+            small_blocks.value(f"{r}_median_s", protocol="wheat", envelope_size=es)
+            for r in GEO_FRONTEND_SITES
+        )
+        large = min(
+            large_blocks.value(f"{r}_median_s", protocol="wheat", envelope_size=es)
+            for r in GEO_FRONTEND_SITES
+        )
         assert large - small < 0.400

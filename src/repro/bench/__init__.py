@@ -7,9 +7,32 @@
 - :mod:`repro.bench.workload` -- envelope load generators;
 - :mod:`repro.bench.figures` -- the experiments: ``figure6`` through
   ``figure9`` plus the conclusion table and our ablations;
-- :mod:`repro.bench.tables` -- ASCII rendering of results.
+- :mod:`repro.bench.tables` -- ASCII rendering of results;
+- :mod:`repro.bench.harness` -- the declarative benchmark registry,
+  runner, and versioned JSON result schema (``BENCH_<name>.json``);
+- :mod:`repro.bench.suite` -- the registered benchmarks (importing it
+  populates the registry);
+- :mod:`repro.bench.compare` -- statistical baseline comparison and
+  the regression gate behind ``make bench-check``.
+
+See ``docs/BENCHMARKS.md`` for the workflow.
 """
 
+from repro.bench.harness import (
+    REGISTRY,
+    BenchContext,
+    Benchmark,
+    BenchmarkRegistry,
+    BenchmarkResult,
+    SuiteResult,
+    load_result,
+    render_result,
+    render_suite,
+    run_benchmark,
+    run_suite,
+    validate_result,
+    write_result,
+)
 from repro.bench.model import (
     OrderingCapacityModel,
     SignatureThroughputModel,
@@ -25,12 +48,25 @@ from repro.bench.workload import OpenLoopGenerator, envelope_stream
 
 __all__ = [
     "AWS_REGIONS",
+    "Benchmark",
+    "BenchmarkRegistry",
+    "BenchmarkResult",
+    "BenchContext",
     "OpenLoopGenerator",
     "OrderingCapacityModel",
+    "REGISTRY",
     "SignatureThroughputModel",
+    "SuiteResult",
     "aws_latency_model",
     "aws_oneway_seconds",
     "envelope_stream",
     "eq1_bound",
     "lan_latency_model",
+    "load_result",
+    "render_result",
+    "render_suite",
+    "run_benchmark",
+    "run_suite",
+    "validate_result",
+    "write_result",
 ]

@@ -1,12 +1,21 @@
-"""Command-line figure regeneration: ``python -m repro.bench``.
+"""Benchmark runner CLI: ``python -m repro.bench``.
 
-Examples::
+Subcommands::
+
+    python -m repro.bench list
+    python -m repro.bench run --smoke                 # -> BENCH_smoke.json
+    python -m repro.bench run --only fig8 --only eq1  # subset, full matrices
+    python -m repro.bench run --smoke --out path.json --repeats 3
+    python -m repro.bench compare baseline.json candidate.json
+    python -m repro.bench compare baseline.json candidate.json --tolerance 0.1
+
+``compare`` exits 0 when the candidate is clean, 1 on a regression
+(see :mod:`repro.bench.compare`), 2 on usage/schema errors.
+
+The legacy figure-regeneration interface is kept verbatim::
 
     python -m repro.bench --figure 6
     python -m repro.bench --figure 7 --orderers 4 --block-size 10
-    python -m repro.bench --figure 8 --duration 6
-    python -m repro.bench --figure eq1
-    python -m repro.bench --figure ablation
     python -m repro.bench --figure all
 """
 
@@ -35,6 +44,9 @@ from repro.bench.tables import (
 )
 
 
+# ----------------------------------------------------------------------
+# Legacy figure regeneration (--figure N)
+# ----------------------------------------------------------------------
 def run_figure6(_args) -> None:
     print(render_figure6(figure6()))
 
@@ -89,7 +101,7 @@ RUNNERS = {
 }
 
 
-def main(argv=None) -> int:
+def legacy_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures.",
@@ -113,6 +125,142 @@ def main(argv=None) -> int:
         RUNNERS[target](args)
         print()
     return 0
+
+
+# ----------------------------------------------------------------------
+# Harness subcommands (list / run / compare)
+# ----------------------------------------------------------------------
+def cmd_list(_args) -> int:
+    from repro.bench import suite  # noqa: F401 - populates the registry
+    from repro.bench.harness import REGISTRY
+
+    for benchmark in REGISTRY:
+        full = sum(1 for _ in benchmark.points("full"))
+        smoke = sum(1 for _ in benchmark.points("smoke"))
+        print(
+            f"{benchmark.name:<20} {full:>4} points "
+            f"({smoke} smoke)  {benchmark.description.splitlines()[0]}"
+        )
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.bench import suite  # noqa: F401 - populates the registry
+    from repro.bench.harness import (
+        REGISTRY,
+        render_suite,
+        run_suite,
+        write_result,
+    )
+
+    mode = "smoke" if args.smoke else "full"
+    run_name = args.name or mode
+    try:
+        benchmarks = REGISTRY.select(args.only)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda line: print(f"  {line}", flush=True)
+    result = run_suite(
+        benchmarks,
+        run_name=run_name,
+        mode=mode,
+        repeats=args.repeats,
+        base_seed=args.seed,
+        progress=progress,
+    )
+    path = args.out or f"BENCH_{run_name}.json"
+    write_result(result, path)
+    if not args.quiet:
+        print()
+        print(render_suite(result))
+    print(f"\n[written to {path}]")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.bench.compare import compare_results, gate
+    from repro.bench.harness import SchemaError, load_result
+
+    try:
+        baseline = load_result(args.baseline)
+        candidate = load_result(args.candidate)
+    except (OSError, ValueError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = compare_results(
+        baseline, candidate, tolerance=args.tolerance, alpha=args.alpha
+    )
+    print(report.render())
+    code = gate(report, strict_missing=args.strict_missing)
+    if code != 0:
+        print("bench-compare: FAIL", file=sys.stderr)
+    return code
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if any(arg.startswith("--figure") for arg in argv):
+        return legacy_main(argv)
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Declarative benchmark harness (see docs/BENCHMARKS.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered benchmarks")
+
+    run_parser = sub.add_parser("run", help="run registered benchmarks")
+    run_parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the seconds-fast smoke matrices instead of the full ones",
+    )
+    run_parser.add_argument(
+        "--only", action="append", default=None, metavar="PATTERN",
+        help="run only benchmarks whose name contains PATTERN (repeatable)",
+    )
+    run_parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="override each benchmark's repeat count",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override the base seed"
+    )
+    run_parser.add_argument(
+        "--name", default=None,
+        help="run name recorded in the result (default: smoke/full)",
+    )
+    run_parser.add_argument(
+        "--out", default=None,
+        help="output path (default: BENCH_<name>.json in the cwd)",
+    )
+    run_parser.add_argument("--quiet", action="store_true")
+
+    compare_parser = sub.add_parser(
+        "compare", help="gate a candidate result against a baseline"
+    )
+    compare_parser.add_argument("baseline")
+    compare_parser.add_argument("candidate")
+    compare_parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative median tolerance before a move counts (default 0.05)",
+    )
+    compare_parser.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="Mann-Whitney significance level (default 0.05)",
+    )
+    compare_parser.add_argument(
+        "--strict-missing", action="store_true",
+        help="fail when baseline coverage is missing from the candidate",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_compare(args)
 
 
 if __name__ == "__main__":

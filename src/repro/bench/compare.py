@@ -1,0 +1,333 @@
+"""Statistical comparison of benchmark result documents.
+
+Fuzzbench-style regression gating over the JSON documents that
+:mod:`repro.bench.harness` writes: load a stored *baseline*, load a
+fresh *candidate*, match (benchmark, matrix point, metric) triples, and
+decide per metric whether the candidate regressed.
+
+Decision rule, per metric:
+
+1. the median-of-repeats moves in the metric's *bad* direction
+   (``direction`` comes from the result document) by more than
+   ``tolerance`` (relative) — otherwise the metric is ``ok`` or
+   ``improved``;
+2. when both sides carry >= ``MIN_SAMPLES_FOR_TEST`` repeats, a
+   two-sided Mann-Whitney U test must also reject the no-change null
+   (p < ``alpha``), so repeat noise cannot trip the gate;  with fewer
+   repeats the median delta alone decides (the deterministic simulator
+   makes single-repeat runs bit-stable, so this is still sound).
+
+:func:`gate` maps a report to a process exit code: ``0`` clean,
+``1`` at least one regression.  Missing benchmarks/points/metrics in
+the candidate are reported as ``missing`` and only fail the gate in
+``strict_missing`` mode (matrix subsets — e.g. smoke vs full — are
+routine, silently dropped coverage should still be visible).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Minimum per-side repeats before the Mann-Whitney test is consulted.
+MIN_SAMPLES_FOR_TEST = 5
+
+#: Default relative tolerance on the median delta (5%).
+DEFAULT_TOLERANCE = 0.05
+
+#: Default significance level for the Mann-Whitney test.
+DEFAULT_ALPHA = 0.05
+
+
+def _rankdata(values: Sequence[float]) -> List[float]:
+    """Ranks (1-based) with ties assigned their average rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sided Mann-Whitney U test, normal approximation with tie
+    correction and continuity correction.
+
+    Returns ``(U, p_value)`` where ``U`` is the statistic of sample
+    ``a``.  Identical samples (zero rank variance) give ``p = 1.0``.
+    """
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    combined = list(a) + list(b)
+    ranks = _rankdata(combined)
+    r1 = sum(ranks[:n1])
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    mu = n1 * n2 / 2.0
+    n = n1 + n2
+    # tie correction to the variance
+    tie_term = 0.0
+    seen: Dict[float, int] = {}
+    for value in combined:
+        seen[value] = seen.get(value, 0) + 1
+    for count in seen.values():
+        tie_term += count**3 - count
+    sigma_sq = (n1 * n2 / 12.0) * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma_sq <= 0:
+        return u1, 1.0
+    # continuity correction toward the mean
+    z = (u1 - mu - math.copysign(0.5, u1 - mu)) / math.sqrt(sigma_sq)
+    if u1 == mu:
+        z = 0.0
+    p = math.erfc(abs(z) / math.sqrt(2.0))
+    return u1, min(1.0, p)
+
+
+@dataclass
+class MetricComparison:
+    """Verdict for one (benchmark, point, metric) triple."""
+
+    benchmark: str
+    params: Dict[str, Any]
+    metric: str
+    direction: str
+    status: str  # "ok" | "improved" | "regression" | "missing"
+    baseline_median: Optional[float] = None
+    candidate_median: Optional[float] = None
+    delta_relative: Optional[float] = None
+    p_value: Optional[float] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.params.items()) or "-"
+        head = f"{self.status.upper():<10} {self.benchmark}[{params}] {self.metric}"
+        if self.status == "missing":
+            return f"{head}: {self.detail}"
+        delta = (
+            "n/a"
+            if self.delta_relative is None
+            else f"{self.delta_relative * +100:+.1f}%"
+        )
+        p = "" if self.p_value is None else f", p={self.p_value:.4f}"
+        return (
+            f"{head}: {self.baseline_median:.6g} -> "
+            f"{self.candidate_median:.6g} ({delta}{p}, {self.direction} is better)"
+        )
+
+
+@dataclass
+class CompareReport:
+    """All verdicts of one baseline/candidate comparison."""
+
+    baseline_name: str
+    candidate_name: str
+    tolerance: float
+    alpha: float
+    comparisons: List[MetricComparison] = field(default_factory=list)
+
+    def by_status(self, status: str) -> List[MetricComparison]:
+        return [c for c in self.comparisons if c.status == status]
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        return self.by_status("regression")
+
+    @property
+    def missing(self) -> List[MetricComparison]:
+        return self.by_status("missing")
+
+    def summary_counts(self) -> Dict[str, int]:
+        counts = {"ok": 0, "improved": 0, "regression": 0, "missing": 0}
+        for comparison in self.comparisons:
+            counts[comparison.status] += 1
+        return counts
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-bench-compare/1",
+            "baseline": self.baseline_name,
+            "candidate": self.candidate_name,
+            "tolerance": self.tolerance,
+            "alpha": self.alpha,
+            "counts": self.summary_counts(),
+            "comparisons": [
+                {
+                    "benchmark": c.benchmark,
+                    "params": c.params,
+                    "metric": c.metric,
+                    "direction": c.direction,
+                    "status": c.status,
+                    "baseline_median": c.baseline_median,
+                    "candidate_median": c.candidate_median,
+                    "delta_relative": c.delta_relative,
+                    "p_value": c.p_value,
+                    "detail": c.detail,
+                }
+                for c in self.comparisons
+            ],
+        }
+
+    def render(self) -> str:
+        counts = self.summary_counts()
+        lines = [
+            f"bench-compare: baseline={self.baseline_name} "
+            f"candidate={self.candidate_name} "
+            f"tolerance={self.tolerance:.1%} alpha={self.alpha}",
+            f"  {counts['ok']} ok, {counts['improved']} improved, "
+            f"{counts['regression']} regressions, {counts['missing']} missing",
+        ]
+        for comparison in self.comparisons:
+            if comparison.status != "ok":
+                lines.append("  " + comparison.describe())
+        return "\n".join(lines)
+
+
+def _point_key(params: Mapping[str, Any]) -> Tuple:
+    return tuple(sorted((k, repr(v)) for k, v in params.items()))
+
+
+def _index_points(document: Mapping[str, Any]) -> Dict[str, Dict[Tuple, Mapping]]:
+    index: Dict[str, Dict[Tuple, Mapping]] = {}
+    for bench in document["benchmarks"]:
+        points = index.setdefault(bench["benchmark"], {})
+        for point in bench["points"]:
+            points[_point_key(point["params"])] = point
+    return index
+
+
+def _finite(values: Sequence[Optional[float]]) -> List[float]:
+    return [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+
+
+def compare_results(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    alpha: float = DEFAULT_ALPHA,
+) -> CompareReport:
+    """Compare two validated result documents (baseline perspective:
+    every baseline triple must appear in the candidate or is reported
+    ``missing``; extra candidate coverage is ignored)."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    report = CompareReport(
+        baseline_name=baseline.get("run_name", "baseline"),
+        candidate_name=candidate.get("run_name", "candidate"),
+        tolerance=tolerance,
+        alpha=alpha,
+    )
+    candidate_index = _index_points(candidate)
+    for bench in baseline["benchmarks"]:
+        name = bench["benchmark"]
+        cand_points = candidate_index.get(name)
+        for point in bench["points"]:
+            params = dict(point["params"])
+            key = _point_key(params)
+            cand_point = None if cand_points is None else cand_points.get(key)
+            for metric, summary in point["metrics"].items():
+                direction = summary["direction"]
+                if cand_point is None or metric not in cand_point["metrics"]:
+                    why = (
+                        "benchmark absent from candidate"
+                        if cand_points is None
+                        else "matrix point absent from candidate"
+                        if cand_point is None
+                        else "metric absent from candidate"
+                    )
+                    report.comparisons.append(
+                        MetricComparison(
+                            benchmark=name,
+                            params=params,
+                            metric=metric,
+                            direction=direction,
+                            status="missing",
+                            detail=why,
+                        )
+                    )
+                    continue
+                cand_summary = cand_point["metrics"][metric]
+                report.comparisons.append(
+                    _compare_metric(
+                        name, params, metric, summary, cand_summary,
+                        tolerance, alpha,
+                    )
+                )
+    return report
+
+
+def _compare_metric(
+    benchmark: str,
+    params: Dict[str, Any],
+    metric: str,
+    base: Mapping[str, Any],
+    cand: Mapping[str, Any],
+    tolerance: float,
+    alpha: float,
+) -> MetricComparison:
+    direction = base["direction"]
+    base_median = base["median"]
+    cand_median = cand["median"]
+    result = MetricComparison(
+        benchmark=benchmark,
+        params=params,
+        metric=metric,
+        direction=direction,
+        status="ok",
+        baseline_median=base_median,
+        candidate_median=cand_median,
+    )
+    if base_median is None or cand_median is None:
+        result.status = "missing"
+        result.detail = "median is null (non-finite measurement)"
+        return result
+    if base_median == 0:
+        delta = 0.0 if cand_median == 0 else math.inf
+    else:
+        delta = (cand_median - base_median) / abs(base_median)
+    result.delta_relative = delta if math.isfinite(delta) else None
+
+    worse = delta > tolerance if direction == "lower" else delta < -tolerance
+    better = delta < -tolerance if direction == "lower" else delta > tolerance
+
+    base_values = _finite(base["values"])
+    cand_values = _finite(cand["values"])
+    testable = (
+        len(base_values) >= MIN_SAMPLES_FOR_TEST
+        and len(cand_values) >= MIN_SAMPLES_FOR_TEST
+    )
+    if testable:
+        _, p_value = mann_whitney_u(base_values, cand_values)
+        result.p_value = p_value
+        if worse and p_value >= alpha:
+            # the median moved, but the distributions are not
+            # distinguishable: treat as noise
+            worse = False
+            result.detail = "median delta beyond tolerance but p >= alpha"
+        if better and p_value >= alpha:
+            better = False
+
+    if worse:
+        result.status = "regression"
+        result.detail = result.detail or (
+            f"median moved {delta:+.1%} in the bad direction "
+            f"(tolerance {tolerance:.1%})"
+        )
+    elif better:
+        result.status = "improved"
+    return result
+
+
+def gate(report: CompareReport, strict_missing: bool = False) -> int:
+    """Process exit code for a comparison report."""
+    if report.regressions:
+        return 1
+    if strict_missing and report.missing:
+        return 1
+    return 0

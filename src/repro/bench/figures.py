@@ -387,6 +387,83 @@ class AblationResult:
     p90: float
 
 
+def wheat_ablation_point(
+    weights: bool,
+    tentative: bool,
+    envelope_size: int = 1024,
+    block_size: int = 10,
+    rate: float = 1100.0,
+    duration: float = 8.0,
+    frontend_region: str = "virginia",
+    warmup: float = 2.0,
+    seed: int = 0,
+) -> AblationResult:
+    """One cell of the WHEAT ablation: weighted quorums and tentative
+    execution toggled independently on the 5-replica geo deployment."""
+    channel = ChannelConfig(
+        "geo", max_message_count=block_size, batch_timeout=1.0
+    )
+    config = OrderingServiceConfig(
+        f=1,
+        delta=1,
+        vmax_holders=(0, 1) if weights else None,
+        tentative_execution=tentative,
+        channel=channel,
+        num_frontends=len(GEO_FRONTEND_SITES),
+        node_sites=list(WHEAT_GEO_SITES),
+        frontend_sites=list(GEO_FRONTEND_SITES),
+        latency=aws_latency_model(),
+        bandwidth_bps=2e9,
+        physical_cores=None,
+        request_timeout=8.0,
+        enable_batch_timeout=True,
+        seed=seed,
+    )
+    if not weights:
+        # uniform weights over 3f+1+delta replicas
+        config.vmax_holders = None
+        uniform = {i: 1.0 for i in range(config.n)}
+        service = build_ordering_service(config)
+        # rebuild views with uniform weights is equivalent to
+        # passing explicit weights; the builder computes binary
+        # weights from delta, so override them here
+        from repro.smart.view import View
+
+        view = View(
+            view_id=0,
+            processes=tuple(range(config.n)),
+            f=1,
+            delta=1,
+            weights=uniform,
+        )
+        for replica in service.replicas:
+            replica.view = view
+        for frontend in service.frontends:
+            frontend.proxy.update_view(view)
+    else:
+        service = build_ordering_service(config)
+    generator = OpenLoopGenerator(
+        sim=service.sim,
+        frontends=service.frontends,
+        channel_id="geo",
+        envelope_size=envelope_size,
+        rate_per_second=rate,
+        duration=warmup + duration,
+    )
+    generator.start()
+    service.run(warmup)
+    index = GEO_FRONTEND_SITES.index(frontend_region)
+    recorder = service.stats.latency(f"{FRONTEND_ID_BASE + index}.latency")
+    recorder.reset()
+    service.run(duration + 2.0)
+    return AblationResult(
+        weights=weights,
+        tentative=tentative,
+        median=recorder.median,
+        p90=recorder.p90,
+    )
+
+
 def wheat_ablation(
     envelope_size: int = 1024,
     block_size: int = 10,
@@ -397,71 +474,17 @@ def wheat_ablation(
 ) -> List[AblationResult]:
     """Decompose WHEAT's gain: weighted quorums and tentative execution
     toggled independently on the 5-replica geo deployment."""
-    results: List[AblationResult] = []
-    for weights in (False, True):
-        for tentative in (False, True):
-            channel = ChannelConfig(
-                "geo", max_message_count=block_size, batch_timeout=1.0
-            )
-            config = OrderingServiceConfig(
-                f=1,
-                delta=1,
-                vmax_holders=(0, 1) if weights else None,
-                tentative_execution=tentative,
-                channel=channel,
-                num_frontends=len(GEO_FRONTEND_SITES),
-                node_sites=list(WHEAT_GEO_SITES),
-                frontend_sites=list(GEO_FRONTEND_SITES),
-                latency=aws_latency_model(),
-                bandwidth_bps=2e9,
-                physical_cores=None,
-                request_timeout=8.0,
-                enable_batch_timeout=True,
-                seed=seed,
-            )
-            if not weights:
-                # uniform weights over 3f+1+delta replicas
-                config.vmax_holders = None
-                uniform = {i: 1.0 for i in range(config.n)}
-                service = build_ordering_service(config)
-                # rebuild views with uniform weights is equivalent to
-                # passing explicit weights; the builder computes binary
-                # weights from delta, so override them here
-                from repro.smart.view import View
-
-                view = View(
-                    view_id=0,
-                    processes=tuple(range(config.n)),
-                    f=1,
-                    delta=1,
-                    weights=uniform,
-                )
-                for replica in service.replicas:
-                    replica.view = view
-                for frontend in service.frontends:
-                    frontend.proxy.update_view(view)
-            else:
-                service = build_ordering_service(config)
-            generator = OpenLoopGenerator(
-                sim=service.sim,
-                frontends=service.frontends,
-                channel_id="geo",
-                envelope_size=envelope_size,
-                rate_per_second=rate,
-                duration=2.0 + duration,
-            )
-            generator.start()
-            service.run(2.0)
-            index = GEO_FRONTEND_SITES.index(frontend_region)
-            recorder = service.stats.latency(f"{FRONTEND_ID_BASE + index}.latency")
-            recorder.reset()
-            service.run(duration + 2.0)
-            results.append(
-                AblationResult(
-                    weights=weights,
-                    tentative=tentative,
-                    median=recorder.median,
-                    p90=recorder.p90,
-                )
-            )
-    return results
+    return [
+        wheat_ablation_point(
+            weights,
+            tentative,
+            envelope_size=envelope_size,
+            block_size=block_size,
+            rate=rate,
+            duration=duration,
+            frontend_region=frontend_region,
+            seed=seed,
+        )
+        for weights in (False, True)
+        for tentative in (False, True)
+    ]

@@ -2,14 +2,69 @@
 
 These mirror what the paper measures: throughput at the leader ordering
 node (transactions and blocks per second) and client-observed latency
-percentiles at each frontend.
+percentiles at each frontend.  The module-level helpers
+(:func:`percentile_of_sorted`, :func:`sample_stdev`, :func:`summarize`)
+are shared with the benchmark harness (:mod:`repro.bench.harness`),
+which records per-repeat metric samples through these instruments and
+emits the same summary statistics into its JSON result schema.
 """
 
 from __future__ import annotations
 
 import math
-from bisect import insort
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def percentile_of_sorted(data: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample.
+
+    ``p`` is in [0, 100].  Empty input yields NaN; a single sample is
+    every percentile of itself.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    if not data:
+        return math.nan
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    frac = rank - low
+    return data[low] * (1.0 - frac) + data[high] * frac
+
+
+def sample_stdev(data: Sequence[float], mean: Optional[float] = None) -> float:
+    """Bessel-corrected sample standard deviation; NaN below 2 samples."""
+    n = len(data)
+    if n < 2:
+        return math.nan
+    if mean is None:
+        mean = sum(data) / n
+    return math.sqrt(sum((x - mean) ** 2 for x in data) / (n - 1))
+
+
+def summarize(samples: Iterable[float]) -> Dict[str, float]:
+    """Summary statistics over a sample set.
+
+    The keys are the per-metric statistics of the benchmark result
+    schema: count, mean, median, p95, stdev, min, max.
+    """
+    data = sorted(samples)
+    n = len(data)
+    if n == 0:
+        mean = math.nan
+    else:
+        mean = sum(data) / n
+    return {
+        "count": float(n),
+        "mean": mean,
+        "median": percentile_of_sorted(data, 50.0),
+        "p95": percentile_of_sorted(data, 95.0),
+        "stdev": sample_stdev(data, mean if n else None),
+        "min": data[0] if data else math.nan,
+        "max": data[-1] if data else math.nan,
+    }
 
 
 class Counter:
@@ -29,49 +84,51 @@ class Counter:
 class LatencyRecorder:
     """Collects individual latency samples; reports percentiles.
 
-    Samples are kept sorted on insertion so percentile queries are
-    cheap and repeated queries do not re-sort.
+    Samples are appended in O(1); sorted order is re-established lazily
+    on the first statistic query after an insertion and then cached, so
+    bursts of recording cost amortized O(n log n) total instead of the
+    O(n^2) of an insertion sort, while repeated queries over an
+    unchanged sample set never re-sort.
     """
 
     def __init__(self, name: str = "latency"):
         self.name = name
-        self._sorted: List[float] = []
+        self._samples: List[float] = []
+        self._dirty = False
         self._sum = 0.0
 
     def record(self, seconds: float) -> None:
-        insort(self._sorted, seconds)
+        self._samples.append(seconds)
+        self._dirty = True
         self._sum += seconds
 
     def reset(self) -> None:
         """Discard all samples (used to trim experiment warm-up)."""
-        self._sorted = []
+        self._samples = []
+        self._dirty = False
         self._sum = 0.0
 
     def extend(self, samples: Iterable[float]) -> None:
         for sample in samples:
             self.record(sample)
 
+    def _sorted_samples(self) -> List[float]:
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        return self._samples
+
     @property
     def count(self) -> int:
-        return len(self._sorted)
+        return len(self._samples)
 
     @property
     def mean(self) -> float:
-        return self._sum / len(self._sorted) if self._sorted else math.nan
+        return self._sum / len(self._samples) if self._samples else math.nan
 
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile, ``p`` in [0, 100]."""
-        if not self._sorted:
-            return math.nan
-        if not 0.0 <= p <= 100.0:
-            raise ValueError("percentile must be in [0, 100]")
-        if len(self._sorted) == 1:
-            return self._sorted[0]
-        rank = (p / 100.0) * (len(self._sorted) - 1)
-        low = int(rank)
-        high = min(low + 1, len(self._sorted) - 1)
-        frac = rank - low
-        return self._sorted[low] * (1.0 - frac) + self._sorted[high] * frac
+        return percentile_of_sorted(self._sorted_samples(), p)
 
     @property
     def median(self) -> float:
@@ -82,12 +139,22 @@ class LatencyRecorder:
         return self.percentile(90.0)
 
     @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def stdev(self) -> float:
+        return sample_stdev(self._samples, self.mean if self._samples else None)
+
+    @property
     def minimum(self) -> float:
-        return self._sorted[0] if self._sorted else math.nan
+        data = self._sorted_samples()
+        return data[0] if data else math.nan
 
     @property
     def maximum(self) -> float:
-        return self._sorted[-1] if self._sorted else math.nan
+        data = self._sorted_samples()
+        return data[-1] if data else math.nan
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -95,6 +162,8 @@ class LatencyRecorder:
             "mean": self.mean,
             "median": self.median,
             "p90": self.p90,
+            "p95": self.p95,
+            "stdev": self.stdev,
             "min": self.minimum,
             "max": self.maximum,
         }

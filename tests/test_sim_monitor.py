@@ -1,10 +1,92 @@
 """Unit tests for measurement instruments."""
 
+import bisect
 import math
+import random
 
 import pytest
 
-from repro.sim.monitor import Counter, LatencyRecorder, StatsRegistry, ThroughputMeter
+from repro.sim.monitor import (
+    Counter,
+    LatencyRecorder,
+    StatsRegistry,
+    ThroughputMeter,
+    percentile_of_sorted,
+    sample_stdev,
+    summarize,
+)
+
+
+class TestPercentileOfSorted:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile_of_sorted([], 50.0))
+        assert math.isnan(percentile_of_sorted([], 0.0))
+
+    def test_single_sample_is_every_percentile(self):
+        for p in (0.0, 50.0, 95.0, 100.0):
+            assert percentile_of_sorted([7.5], p) == 7.5
+
+    def test_p0_p100_are_extremes(self):
+        data = [1.0, 4.0, 9.0]
+        assert percentile_of_sorted(data, 0.0) == 1.0
+        assert percentile_of_sorted(data, 100.0) == 9.0
+
+    def test_linear_interpolation(self):
+        # rank = 0.25 * 3 = 0.75 between 1.0 and 2.0
+        assert percentile_of_sorted([1.0, 2.0, 3.0, 4.0], 25.0) == pytest.approx(1.75)
+        assert percentile_of_sorted([1.0, 2.0], 50.0) == pytest.approx(1.5)
+
+    def test_p95_of_hundred(self):
+        data = [float(i) for i in range(100)]
+        assert percentile_of_sorted(data, 95.0) == pytest.approx(94.05)
+
+    def test_out_of_range_rejected(self):
+        for p in (-0.1, 100.1, 1000.0):
+            with pytest.raises(ValueError):
+                percentile_of_sorted([1.0], p)
+
+
+class TestSampleStdev:
+    def test_fewer_than_two_is_nan(self):
+        assert math.isnan(sample_stdev([]))
+        assert math.isnan(sample_stdev([3.0]))
+
+    def test_bessel_correction(self):
+        # variance of [2, 4, 4, 4, 5, 5, 7, 9] is 32/7 with n-1
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert sample_stdev(data) == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_constant_samples_zero(self):
+        assert sample_stdev([5.0, 5.0, 5.0]) == 0.0
+
+    def test_precomputed_mean_matches(self):
+        data = [1.0, 2.0, 6.0]
+        assert sample_stdev(data, mean=3.0) == pytest.approx(sample_stdev(data))
+
+
+class TestSummarize:
+    def test_keys(self):
+        assert set(summarize([1.0])) == {
+            "count", "mean", "median", "p95", "stdev", "min", "max",
+        }
+
+    def test_empty_all_nan_except_count(self):
+        stats = summarize([])
+        assert stats["count"] == 0.0
+        for key in ("mean", "median", "p95", "stdev", "min", "max"):
+            assert math.isnan(stats[key]), key
+
+    def test_values(self):
+        stats = summarize([3.0, 1.0, 2.0, 4.0])
+        assert stats["count"] == 4.0
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["stdev"] == pytest.approx(sample_stdev([1.0, 2.0, 3.0, 4.0]))
+
+    def test_input_order_irrelevant(self):
+        assert summarize([3.0, 1.0, 2.0]) == summarize([1.0, 2.0, 3.0])
 
 
 class TestCounter:
@@ -66,11 +148,76 @@ class TestLatencyRecorder:
         recorder.record(2.0)
         assert recorder.median == 2.0
 
+    def test_empty_percentiles_are_nan(self):
+        recorder = LatencyRecorder()
+        assert math.isnan(recorder.percentile(50.0))
+        assert math.isnan(recorder.p95)
+        assert math.isnan(recorder.minimum)
+        assert math.isnan(recorder.maximum)
+
+    def test_single_sample_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.record(3.5)
+        for p in (0.0, 50.0, 100.0):
+            assert recorder.percentile(p) == 3.5
+
+    def test_p95(self):
+        recorder = LatencyRecorder()
+        recorder.extend(float(i) for i in range(1, 101))
+        assert recorder.p95 == pytest.approx(95.05)
+
+    def test_stdev(self):
+        recorder = LatencyRecorder()
+        assert math.isnan(recorder.stdev)
+        recorder.record(1.0)
+        assert math.isnan(recorder.stdev)
+        recorder.extend([2.0, 3.0])
+        assert recorder.stdev == pytest.approx(1.0)
+
     def test_summary_keys(self):
         recorder = LatencyRecorder()
         recorder.record(1.0)
         summary = recorder.summary()
-        assert set(summary) == {"count", "mean", "median", "p90", "min", "max"}
+        assert set(summary) == {
+            "count", "mean", "median", "p90", "p95", "stdev", "min", "max",
+        }
+
+    def test_interleaved_record_and_query(self):
+        """Queries between insertions must see the up-to-date sample set
+        (the lazy sort cache invalidates on every record)."""
+        recorder = LatencyRecorder()
+        recorder.extend([5.0, 1.0])
+        assert recorder.median == pytest.approx(3.0)
+        recorder.record(0.0)
+        assert recorder.median == pytest.approx(1.0)
+        assert recorder.minimum == 0.0
+        recorder.record(9.0)
+        assert recorder.maximum == 9.0
+
+    def test_lazy_sort_matches_insort_reference(self):
+        """Percentiles from the amortized append+sort scheme are identical
+        to an insort-per-sample reference over random interleavings."""
+        rng = random.Random(20180625)
+        recorder = LatencyRecorder()
+        reference: list = []
+        for _ in range(500):
+            sample = rng.expovariate(1.0)
+            recorder.record(sample)
+            bisect.insort(reference, sample)
+            if rng.random() < 0.2:
+                for p in (0.0, 25.0, 50.0, 90.0, 95.0, 100.0):
+                    assert recorder.percentile(p) == percentile_of_sorted(reference, p)
+        assert recorder._sorted_samples() == reference
+        summary = recorder.summary()
+        # mean/stdev accumulate in insertion order, the reference sums in
+        # sorted order — equal up to float addition reordering only
+        assert summary["mean"] == pytest.approx(sum(reference) / 500.0, rel=1e-12)
+        assert summary["stdev"] == pytest.approx(sample_stdev(reference), rel=1e-9)
+        for key, p in (("median", 50.0), ("p90", 90.0), ("p95", 95.0)):
+            assert summary[key] == percentile_of_sorted(reference, p)
+        assert summary["min"] == reference[0]
+        assert summary["max"] == reference[-1]
+        assert summary["count"] == 500.0
 
 
 class TestThroughputMeter:
