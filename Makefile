@@ -4,26 +4,37 @@ PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 # full exploration knobs (see docs/FAULTS.md)
 SEEDS ?= 100
 START_SEED ?= 0
+FAULTS_OUT ?= faults-report.json
 
 # benchmark harness knobs (see docs/BENCHMARKS.md)
 BASELINE ?= benchmarks/baselines/BENCH_smoke.json
 CANDIDATE ?= BENCH_smoke.json
 TOLERANCE ?= 0.05
 
-.PHONY: test faults-smoke faults-explore bench-smoke bench-check bench-baseline bench-full
+.PHONY: test lint ci faults-smoke faults-explore bench-smoke bench-check bench-baseline bench-full
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
 
+## static checks: real ruff when installed, AST fallback otherwise
+## (config in pyproject.toml; see tools/lint.py)
+lint:
+	$(PYTHON) tools/lint.py
+
+## everything CI's per-commit job runs, in order
+ci: lint test faults-smoke bench-smoke bench-check
+
 ## quick confidence check: 5 explorer seeds (runs in seconds)
 faults-smoke:
-	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults --seeds 5
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults --seeds 5 \
+		--out $(FAULTS_OUT)
 
 ## opt-in deep exploration: make faults-explore SEEDS=500
 faults-explore:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults \
-		--seeds $(SEEDS) --start-seed $(START_SEED) --shrink
+		--seeds $(SEEDS) --start-seed $(START_SEED) --shrink \
+		--out $(FAULTS_OUT)
 
 ## quick benchmark pass over every registered benchmark's smoke matrix
 ## (runs in seconds, writes BENCH_smoke.json)

@@ -168,6 +168,7 @@ def cmd_run(args) -> int:
         repeats=args.repeats,
         base_seed=args.seed,
         progress=progress,
+        phases=args.phases,
     )
     path = args.out or f"BENCH_{run_name}.json"
     write_result(result, path)
@@ -234,6 +235,12 @@ def main(argv=None) -> int:
     run_parser.add_argument(
         "--out", default=None,
         help="output path (default: BENCH_<name>.json in the cwd)",
+    )
+    run_parser.add_argument(
+        "--phases", action="store_true",
+        help="attach a repro.obs hub per repeat and embed per-phase "
+        "latency breakdowns in the result (benchmarks that build an "
+        "ordering service only)",
     )
     run_parser.add_argument("--quiet", action="store_true")
 

@@ -104,6 +104,11 @@ class MetricComparison:
     delta_relative: Optional[float] = None
     p_value: Optional[float] = None
     detail: str = ""
+    #: per-phase deltas when both sides carry a ``phases`` breakdown
+    #: (``--phases`` runs) and this metric regressed: maps phase label
+    #: to ``{"baseline": s, "candidate": s, "delta": s}`` (mean over
+    #: repeats), localizing the regression to a protocol phase.
+    phase_deltas: Optional[Dict[str, Dict[str, float]]] = None
 
     def describe(self) -> str:
         params = ", ".join(f"{k}={v}" for k, v in self.params.items()) or "-"
@@ -116,10 +121,23 @@ class MetricComparison:
             else f"{self.delta_relative * +100:+.1f}%"
         )
         p = "" if self.p_value is None else f", p={self.p_value:.4f}"
-        return (
+        line = (
             f"{head}: {self.baseline_median:.6g} -> "
             f"{self.candidate_median:.6g} ({delta}{p}, {self.direction} is better)"
         )
+        if self.phase_deltas:
+            worst = sorted(
+                self.phase_deltas.items(),
+                key=lambda item: abs(item[1]["delta"]),
+                reverse=True,
+            )[:3]
+            moved = "; ".join(
+                f"{label} {entry['baseline'] * 1e3:.3f}ms -> "
+                f"{entry['candidate'] * 1e3:.3f}ms"
+                for label, entry in worst
+            )
+            line += f"\n             phases most moved: {moved}"
+        return line
 
 
 @dataclass
@@ -169,6 +187,7 @@ class CompareReport:
                     "delta_relative": c.delta_relative,
                     "p_value": c.p_value,
                     "detail": c.detail,
+                    "phase_deltas": c.phase_deltas,
                 }
                 for c in self.comparisons
             ],
@@ -253,13 +272,39 @@ def compare_results(
                     )
                     continue
                 cand_summary = cand_point["metrics"][metric]
-                report.comparisons.append(
-                    _compare_metric(
-                        name, params, metric, summary, cand_summary,
-                        tolerance, alpha,
-                    )
+                comparison = _compare_metric(
+                    name, params, metric, summary, cand_summary,
+                    tolerance, alpha,
                 )
+                if comparison.status == "regression":
+                    comparison.phase_deltas = _phase_deltas(point, cand_point)
+                report.comparisons.append(comparison)
     return report
+
+
+def _phase_deltas(
+    base_point: Mapping[str, Any], cand_point: Mapping[str, Any]
+) -> Optional[Dict[str, Dict[str, float]]]:
+    """Mean per-phase movement between two points that both carry a
+    ``phases`` breakdown (``--phases`` runs); None otherwise."""
+    base_phases = base_point.get("phases")
+    cand_phases = cand_point.get("phases")
+    if not base_phases or not cand_phases:
+        return None
+    deltas: Dict[str, Dict[str, float]] = {}
+    for label in base_phases:
+        base_values = _finite(base_phases[label])
+        cand_values = _finite(cand_phases.get(label, []))
+        if not base_values or not cand_values:
+            continue
+        base_mean = sum(base_values) / len(base_values)
+        cand_mean = sum(cand_values) / len(cand_values)
+        deltas[label] = {
+            "baseline": base_mean,
+            "candidate": cand_mean,
+            "delta": cand_mean - base_mean,
+        }
+    return deltas or None
 
 
 def _compare_metric(

@@ -24,7 +24,7 @@ EXPERIMENTS.md records next to the paper's numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.model import (
@@ -163,6 +163,7 @@ def simulate_lan_throughput(
     warmup: float = 0.5,
     rate_factor: float = 1.15,
     seed: int = 0,
+    observability=None,
 ) -> LanSimResult:
     """Drive the real simulated stack at ~capacity and measure.
 
@@ -191,7 +192,7 @@ def simulate_lan_throughput(
         request_timeout=30.0,  # saturation benches must not trigger
         seed=seed,             # regency changes
     )
-    service = build_ordering_service(config)
+    service = build_ordering_service(config, observability=observability)
     generator = OpenLoopGenerator(
         sim=service.sim,
         frontends=service.frontends,

@@ -68,6 +68,10 @@ class BenchContext:
     seed: int
     repeat: int
     mode: str  # "full" or "smoke"
+    #: a :class:`repro.obs.Observability` hub when the run was started
+    #: with ``phases=True``; benchmarks that build an ordering service
+    #: pass it through so per-phase latencies land in the result JSON
+    obs: Optional[Any] = None
 
     def __getitem__(self, name: str) -> Any:
         return self.params[name]
@@ -269,9 +273,14 @@ class PointResult:
     params: Dict[str, Any]
     seeds: List[int]
     metrics: Dict[str, MetricSummary]
+    #: per-phase latency samples (one mean per repeat) when the run was
+    #: started with ``phases=True`` and the benchmark produced complete
+    #: envelope chains; ``None`` otherwise.  Keys are the phase labels
+    #: of :data:`repro.obs.PHASES` plus ``"end_to_end"``.
+    phases: Optional[Dict[str, List[float]]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "params": dict(self.params),
             "seeds": list(self.seeds),
             "repeats": len(self.seeds),
@@ -280,6 +289,12 @@ class PointResult:
                 for name, summary in sorted(self.metrics.items())
             },
         }
+        if self.phases is not None:
+            document["phases"] = {
+                label: [_jsonable(v) for v in values]
+                for label, values in sorted(self.phases.items())
+            }
+        return document
 
 
 @dataclass
@@ -392,6 +407,7 @@ def run_benchmark(
     repeats: Optional[int] = None,
     base_seed: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    phases: bool = False,
 ) -> BenchmarkResult:
     """Execute one benchmark's matrix and summarize its metrics.
 
@@ -399,6 +415,13 @@ def run_benchmark(
     :class:`repro.sim.monitor.StatsRegistry` latency recorder per
     metric, then summarized with the shared statistics helpers, so the
     JSON numbers and the live instruments can never disagree.
+
+    With ``phases=True`` every repeat gets a fresh
+    :class:`repro.obs.Observability` hub on its :class:`BenchContext`;
+    benchmarks that thread it into ``build_ordering_service`` produce a
+    per-phase latency breakdown embedded in the point's JSON, which
+    lets ``bench compare`` localize a latency regression to a protocol
+    phase.
     """
     if mode not in ("full", "smoke"):
         raise ValueError(f"mode must be 'full' or 'smoke', got {mode!r}")
@@ -411,10 +434,18 @@ def run_benchmark(
         stats = StatsRegistry()
         seeds: List[int] = []
         directions: Dict[str, str] = {}
+        phase_samples: Dict[str, List[float]] = {}
         for repeat in range(repeat_count):
             seed = benchmark.seed_for(repeat, base_seed)
             seeds.append(seed)
-            ctx = BenchContext(params=params, seed=seed, repeat=repeat, mode=mode)
+            obs = None
+            if phases:
+                from repro.obs import Observability
+
+                obs = Observability()
+            ctx = BenchContext(
+                params=params, seed=seed, repeat=repeat, mode=mode, obs=obs
+            )
             if benchmark.setup is not None:
                 benchmark.setup(ctx)
             try:
@@ -429,6 +460,15 @@ def run_benchmark(
             for metric, value in metrics.items():
                 stats.latency(metric).record(float(value))
                 directions.setdefault(metric, benchmark.direction_of(metric))
+            if obs is not None:
+                obs.close()
+                breakdown = obs.phase_breakdown()
+                if breakdown.complete > 0:
+                    for label, mean in breakdown.means().items():
+                        phase_samples.setdefault(label, []).append(mean)
+                    phase_samples.setdefault("end_to_end", []).append(
+                        breakdown.end_to_end_mean
+                    )
         for metric in directions:
             if stats.latency(metric).count != repeat_count:
                 raise ValueError(
@@ -444,7 +484,14 @@ def run_benchmark(
             )
             for metric in sorted(directions)
         }
-        points.append(PointResult(params=dict(params), seeds=seeds, metrics=summaries))
+        points.append(
+            PointResult(
+                params=dict(params),
+                seeds=seeds,
+                metrics=summaries,
+                phases=phase_samples or None,
+            )
+        )
         if progress is not None:
             progress(f"{benchmark.name} {params}: done")
     return BenchmarkResult(
@@ -463,6 +510,7 @@ def run_suite(
     repeats: Optional[int] = None,
     base_seed: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    phases: bool = False,
 ) -> SuiteResult:
     """Run several benchmarks into one result document."""
     results = [
@@ -472,6 +520,7 @@ def run_suite(
             repeats=repeats,
             base_seed=base_seed,
             progress=progress,
+            phases=phases,
         )
         for benchmark in benchmarks
     ]
@@ -537,6 +586,19 @@ def validate_result(document: Mapping[str, Any]) -> None:
                 for key in SUMMARY_KEYS:
                     if key not in summary:
                         raise SchemaError(f"{mwhere}: missing stat {key!r}")
+            # optional per-phase breakdown (opt-in via --phases)
+            if "phases" in point:
+                phases = need(point, "phases", Mapping, pwhere)
+                for label, values in phases.items():
+                    lwhere = f"{pwhere} phase {label!r}"
+                    if not isinstance(label, str):
+                        raise SchemaError(f"{lwhere}: label must be a string")
+                    if not isinstance(values, list) or not all(
+                        isinstance(v, (int, float)) or v is None for v in values
+                    ):
+                        raise SchemaError(
+                            f"{lwhere}: values must be a list of numbers"
+                        )
 
 
 def write_result(result: SuiteResult, path: str) -> str:

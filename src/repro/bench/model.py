@@ -31,7 +31,7 @@ testbed's exact figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 # ----------------------------------------------------------------------
 # calibration constants (the paper's hardware)

@@ -172,6 +172,7 @@ def fig7_lan_sim(ctx: BenchContext) -> Dict[str, float]:
         duration=ctx["duration"],
         warmup=ctx["warmup"],
         seed=ctx.seed,
+        observability=ctx.obs,
     )
     return {
         "generated_tx_per_sec": result.generated_rate,

@@ -7,7 +7,7 @@ figures report.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.bench.figures import AblationResult, GeoLatencyResult, LanSimResult
 

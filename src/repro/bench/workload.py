@@ -10,7 +10,7 @@ jittered) and a simple closed-loop client pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.fabric.envelope import Envelope
 from repro.ordering.frontend import Frontend

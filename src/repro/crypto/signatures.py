@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Optional, Protocol, Tuple
+from typing import Protocol, Tuple
 
 #: Core-seconds for one ECDSA P-256 signature on one physical core of
 #: the paper's 2.27 GHz Xeon E5520.  Chosen so that 8 physical cores

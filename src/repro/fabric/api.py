@@ -9,7 +9,6 @@ events back to clients (paper Figure 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.fabric.block import Block
 from repro.fabric.envelope import ChaincodeProposal, Envelope, ProposalResponse

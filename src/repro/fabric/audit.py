@@ -10,7 +10,7 @@ broker and the BFT service prevents.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from repro.crypto.keys import KeyRegistry
 from repro.fabric.block import GENESIS_PREVIOUS_HASH, Block

@@ -9,7 +9,7 @@ envelope and block sizes (paper section 6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.crypto.hashing import sha256
 from repro.fabric.envelope import Envelope

@@ -10,7 +10,6 @@ experiments use 10 or 100 envelopes per block.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.fabric.policy import EndorsementPolicy, SignedBy
 

@@ -17,7 +17,7 @@ Valid writes commit at version ``(block, tx_index)``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.crypto.keys import KeyRegistry

@@ -8,7 +8,7 @@ of replication.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.crypto.keys import Identity
 from repro.fabric.api import BlockDelivery, SubmitEnvelope

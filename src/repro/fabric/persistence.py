@@ -14,7 +14,8 @@ chaincodes satisfy).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
+
 
 from repro.fabric.block import Block, BlockHeader
 from repro.fabric.envelope import (

@@ -18,7 +18,6 @@ import sys
 from repro.faults.explorer import (
     ExplorerConfig,
     run_seed,
-    sample_schedule,
     shrink_schedule,
 )
 
@@ -51,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="minimize failing schedules by event removal")
     parser.add_argument("--trace", action="store_true",
                         help="print the full fault trace of every run")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write a JSON report (per-seed outcomes, fault "
+                        "schedules, and the traces of failing runs) to PATH")
     parser.add_argument("--quiet", action="store_true",
                         help="only print failures and the summary line")
     return parser
@@ -80,8 +82,22 @@ def main(argv=None) -> int:
         seeds = list(range(args.start_seed, args.start_seed + args.seeds))
 
     failures = 0
+    records = []
     for seed in seeds:
         result = run_seed(seed, cfg)
+        records.append({
+            "seed": seed,
+            "ok": result.ok,
+            "schedule": [event.describe() for event in result.events],
+            "violations": [str(v) for v in result.violations],
+            "submitted": result.submitted,
+            "delivered": result.delivered,
+            "sim_time": result.sim_time,
+            "ledger_digest": result.ledger_digest,
+            "trace_digest": result.trace_digest,
+            # full traces only where they matter: failures, or on request
+            "trace": result.trace if (args.trace or not result.ok) else None,
+        })
         status = "ok" if result.ok else "VIOLATION"
         line = (
             f"seed {seed:>5}  {status:<9}  events={len(result.events)}  "
@@ -113,6 +129,25 @@ def main(argv=None) -> int:
         f"explored {len(seeds)} seed(s): "
         f"{len(seeds) - failures} ok, {failures} violation(s)"
     )
+    if args.out:
+        import json
+
+        document = {
+            "config": {
+                "f": cfg.f,
+                "envelopes": cfg.envelopes,
+                "max_events": cfg.max_events,
+                "heal_at": cfg.heal_at,
+                "deadline": cfg.deadline,
+            },
+            "seeds": len(seeds),
+            "violations": failures,
+            "runs": records,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=1)
+            fh.write("\n")
+        print(f"[fault-explorer report written to {args.out}]")
     return 1 if failures else 0
 
 

@@ -9,7 +9,7 @@ stop into a deterministic, reproducible *fault trace*.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List
 
 from repro.faults.actions import FaultAction
 from repro.sim.network import Network

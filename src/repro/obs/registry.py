@@ -1,0 +1,200 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+Every component of a deployment registers its instruments under
+dot-separated hierarchical names -- ``smart.replica.3.consensus.
+write_quorum_wait``, ``sim.cpu.0.utilization``, ``ordering.frontend.
+1000.blocks_matched`` -- into one shared :class:`MetricsRegistry`, so a
+report can slice the whole system by subsystem prefix.
+
+Naming semantics (enforced, tested):
+
+- a name is one or more non-empty dot-separated segments of
+  ``[A-Za-z0-9_-]``;
+- a registered name owns its *kind*: asking for ``x.y`` as a counter
+  after it was created as a histogram raises :class:`MetricNameError`;
+- a registered leaf cannot also be an interior node: once ``a.b``
+  exists, creating ``a.b.c`` (or vice versa) raises, keeping the
+  hierarchy a proper tree.
+
+Histograms reuse the :class:`repro.sim.monitor.LatencyRecorder`
+percentile machinery (lazy sort, linear-interpolated percentiles), so
+registry numbers and benchmark-harness numbers can never disagree.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Union
+
+
+from repro.sim.monitor import LatencyRecorder
+
+_SEGMENT = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+class MetricNameError(ValueError):
+    """An instrument name collides with an existing registration."""
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value: set directly or tracked via a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = value
+
+    def track(self, fn: Callable[[], float]) -> None:
+        """Make the gauge read ``fn()`` at every observation."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram(LatencyRecorder):
+    """A sample distribution (the monitor's recorder, by another name)."""
+
+    kind = "histogram"
+
+    def observe(self, value: float) -> None:
+        self.record(value)
+
+    def snapshot(self) -> Dict[str, float]:
+        return self.summary()
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """One shared, hierarchical bag of instruments."""
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+        self._interior: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _validate(self, name: str) -> Tuple[str, ...]:
+        segments = tuple(name.split("."))
+        if not all(_SEGMENT.match(s) for s in segments):
+            raise MetricNameError(
+                f"invalid metric name {name!r}: segments must be non-empty "
+                "[A-Za-z0-9_-], dot-separated"
+            )
+        return segments
+
+    def _claim(self, name: str, factory: Callable[[str], Instrument]) -> Instrument:
+        existing = self._instruments.get(name)
+        wanted = factory(name)
+        if existing is not None:
+            if existing.kind != wanted.kind:
+                raise MetricNameError(
+                    f"{name!r} is already a {existing.kind}, "
+                    f"cannot re-register as a {wanted.kind}"
+                )
+            return existing
+        segments = self._validate(name)
+        if name in self._interior:
+            raise MetricNameError(
+                f"{name!r} is an interior node of the metric tree "
+                "(longer names exist under it); leaves only"
+            )
+        for i in range(1, len(segments)):
+            prefix = ".".join(segments[:i])
+            if prefix in self._instruments:
+                raise MetricNameError(
+                    f"cannot register {name!r}: {prefix!r} is already a "
+                    f"{self._instruments[prefix].kind} leaf"
+                )
+        for i in range(1, len(segments)):
+            self._interior.add(".".join(segments[:i]))
+        self._instruments[name] = wanted
+        return wanted
+
+    def counter(self, name: str) -> Counter:
+        return self._claim(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._claim(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._claim(name, Histogram)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def subtree(self, prefix: str) -> Dict[str, Instrument]:
+        """Every instrument at or under ``prefix`` (dot-boundary aware)."""
+        dotted = prefix + "."
+        return {
+            name: instrument
+            for name, instrument in sorted(self._instruments.items())
+            if name == prefix or name.startswith(dotted)
+        }
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """Flat ``{name: value-or-summary}`` view, optionally filtered."""
+        chosen = self.subtree(prefix) if prefix else dict(sorted(self._instruments.items()))
+        return {name: instrument.snapshot() for name, instrument in chosen.items()}
+
+    def tree(self) -> Dict[str, Any]:
+        """Nested-dict view of the hierarchy (leaves are snapshots)."""
+        root: Dict[str, Any] = {}
+        for name, instrument in sorted(self._instruments.items()):
+            node = root
+            segments = name.split(".")
+            for segment in segments[:-1]:
+                node = node.setdefault(segment, {})
+            node[segments[-1]] = instrument.snapshot()
+        return root

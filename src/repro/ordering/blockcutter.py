@@ -10,7 +10,7 @@ envelopes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope

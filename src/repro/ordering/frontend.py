@@ -73,6 +73,8 @@ class Frontend:
         #: invariant probe (repro.faults): per-channel header digests of
         #: every block delivered, in delivery order
         self.delivered_digests: Dict[str, List[bytes]] = {}
+        #: optional repro.obs.Observability hub (attached externally)
+        self.obs = None
 
     # ------------------------------------------------------------------
     @property
@@ -94,6 +96,8 @@ class Frontend:
         if envelope.create_time is None:
             envelope.create_time = self.sim.now
         self.envelopes_submitted += 1
+        if self.obs is not None:
+            self.obs.on_submit(self.name, envelope, self.sim.now)
         self.proxy.invoke_async(envelope, size_bytes=envelope.payload_size)
 
     # ------------------------------------------------------------------
@@ -116,6 +120,8 @@ class Frontend:
             return
         channel = block.channel_id
         number = block.header.number
+        if self.obs is not None:
+            self.obs.on_block_copy(self.name, channel, number, self.sim.now)
         expected = self._next_expected.get(channel, 0)
         if number < expected:
             return  # already delivered
@@ -189,6 +195,8 @@ class Frontend:
 
     def _deliver_block(self, block: Block) -> None:
         self.blocks_delivered += 1
+        if self.obs is not None:
+            self.obs.on_block_delivered(self.name, block, self.sim.now)
         self.delivered_digests.setdefault(block.channel_id, []).append(
             block.header.digest()
         )

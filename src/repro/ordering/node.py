@@ -23,8 +23,9 @@ ignored.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
 
 from repro.crypto.keys import Identity
 from repro.fabric.api import BlockDelivery
@@ -105,6 +106,8 @@ class BFTOrderingNode(StateMachine):
         self.blocks_created = 0
         self.envelopes_processed = 0
         self._cut_timers: Dict[str, object] = {}
+        #: optional repro.obs.Observability hub (attached externally)
+        self.obs = None
 
     # ------------------------------------------------------------------
     # frontend registration (the custom replier's recipients)
@@ -217,13 +220,18 @@ class BFTOrderingNode(StateMachine):
         state.previous_hash = header.digest()
         block = Block(header=header, envelopes=batch, channel_id=channel_id)
         self.blocks_created += 1
+        cut_time = self.sim.now
+        if self.obs is not None:
+            self.obs.on_block_cut(self.name, block, cut_time)
         cost = self.sign_cost * (2 if self.double_sign else 1)
         if self.signing_pool is not None and cost > 0:
-            self.signing_pool.submit(cost, self._sign_and_send, block)
+            self.signing_pool.submit(
+                cost, self._sign_and_send, block, cut_time, activity="sign"
+            )
         else:
-            self._sign_and_send(block)
+            self._sign_and_send(block, cut_time)
 
-    def _sign_and_send(self, block: Block) -> None:
+    def _sign_and_send(self, block: Block, cut_time: Optional[float] = None) -> None:
         block.signatures[self.name] = self.identity.sign(
             block.header.signing_payload()
         )
@@ -231,6 +239,13 @@ class BFTOrderingNode(StateMachine):
         self.network.broadcast(
             self.net_id, self.frontends, delivery, delivery.wire_size()
         )
+        if self.obs is not None:
+            self.obs.on_block_signed(
+                self.name,
+                block,
+                cut_time if cut_time is not None else self.sim.now,
+                self.sim.now,
+            )
         if self.stats is not None:
             self.stats.meter(f"{self.name}.blocks").record(self.sim.now, 1.0)
             self.stats.meter(f"{self.name}.envelopes").record(

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.crypto.keys import Identity, KeyRegistry
+from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import SimulatedECDSA
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope
@@ -101,6 +101,8 @@ class OrderingService:
     frontends: List[Frontend]
     stats: StatsRegistry
     cpus: List[Optional[CPU]]
+    #: optional repro.obs.Observability hub wired through every component
+    observability: Optional[Any] = None
 
     @property
     def leader_node(self) -> BFTOrderingNode:
@@ -244,8 +246,15 @@ class OrderingService:
 def build_ordering_service(
     config: Optional[OrderingServiceConfig] = None,
     sim: Optional[Simulator] = None,
+    observability: Optional[Any] = None,
 ) -> OrderingService:
-    """Stand up a complete ordering service on a fresh simulator."""
+    """Stand up a complete ordering service on a fresh simulator.
+
+    ``observability`` optionally receives a
+    :class:`repro.obs.Observability` hub; it is attached to every
+    component (network, replicas, nodes, frontends, proxies) so the
+    deployment emits metrics and consensus spans as it runs.
+    """
     config = config or OrderingServiceConfig()
     sim = sim or Simulator()
     streams = RandomStreams(config.seed)
@@ -370,7 +379,7 @@ def build_ordering_service(
             node.register_frontend(client_id)
         frontends.append(frontend)
 
-    return OrderingService(
+    service = OrderingService(
         sim=sim,
         network=network,
         config=config,
@@ -381,4 +390,8 @@ def build_ordering_service(
         frontends=frontends,
         stats=stats,
         cpus=cpus,
+        observability=observability,
     )
+    if observability is not None:
+        observability.attach(service)
+    return service

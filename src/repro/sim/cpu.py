@@ -65,6 +65,9 @@ class CPU:
         self._background_fraction = 0.0
         self.busy_core_seconds = 0.0
         self.tasks_completed = 0
+        #: core-seconds *demanded* per activity label (resource
+        #: attribution for repro.obs; contention does not change demand)
+        self.activity_core_seconds: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # capacity model
@@ -99,10 +102,21 @@ class CPU:
     # ------------------------------------------------------------------
     # task management
     # ------------------------------------------------------------------
-    def submit(self, work_core_seconds: float) -> Future:
-        """Submit a task needing ``work_core_seconds`` of core time."""
+    def submit(
+        self, work_core_seconds: float, activity: Optional[str] = None
+    ) -> Future:
+        """Submit a task needing ``work_core_seconds`` of core time.
+
+        ``activity`` labels the work for resource attribution (e.g.
+        ``"sign"``); the demanded core-seconds accumulate in
+        :attr:`activity_core_seconds`.
+        """
         if work_core_seconds < 0:
             raise ValueError("work must be non-negative")
+        if activity is not None:
+            self.activity_core_seconds[activity] = (
+                self.activity_core_seconds.get(activity, 0.0) + work_core_seconds
+            )
         future = self.sim.future()
         if work_core_seconds == 0:
             self.sim.call_soon(future.resolve, None)
@@ -190,7 +204,7 @@ class ThreadPool:
         self.cpu = cpu
         self.workers = workers
         self._in_flight = 0
-        self._backlog: deque[tuple[float, Future]] = deque()
+        self._backlog: deque[tuple[float, Future, Optional[str]]] = deque()
         self.tasks_completed = 0
 
     def submit(
@@ -198,15 +212,16 @@ class ThreadPool:
         work_core_seconds: float,
         callback: Optional[Callable[..., Any]] = None,
         *args: Any,
+        activity: Optional[str] = None,
     ) -> Future:
         """Run a task through the pool; optional callback on completion."""
         future = self.cpu.sim.future()
         if callback is not None:
             future.add_callback(lambda _f: callback(*args))
         if self._in_flight < self.workers:
-            self._dispatch(work_core_seconds, future)
+            self._dispatch(work_core_seconds, future, activity)
         else:
-            self._backlog.append((work_core_seconds, future))
+            self._backlog.append((work_core_seconds, future, activity))
         return future
 
     @property
@@ -217,9 +232,11 @@ class ThreadPool:
     def in_flight(self) -> int:
         return self._in_flight
 
-    def _dispatch(self, work: float, future: Future) -> None:
+    def _dispatch(
+        self, work: float, future: Future, activity: Optional[str] = None
+    ) -> None:
         self._in_flight += 1
-        inner = self.cpu.submit(work)
+        inner = self.cpu.submit(work, activity=activity)
         inner.add_callback(lambda _f: self._finish(future))
 
     def _finish(self, future: Future) -> None:
@@ -227,5 +244,5 @@ class ThreadPool:
         self.tasks_completed += 1
         future.resolve(None)
         if self._backlog and self._in_flight < self.workers:
-            work, pending = self._backlog.popleft()
-            self._dispatch(work, pending)
+            work, pending, activity = self._backlog.popleft()
+            self._dispatch(work, pending, activity)

@@ -186,6 +186,9 @@ class Network:
         self.streams = streams or RandomStreams(0)
         self.overhead_bytes = overhead_bytes
         self.stats = NetworkStats()
+        #: optional repro.obs hub; when set, every accepted send is
+        #: reported via ``obs.on_message`` (no-op otherwise)
+        self.obs = None
         self._nodes: Dict[NodeId, _Node] = {}
         self._blocked: set[Tuple[NodeId, NodeId]] = set()
         self._drop_rates: Dict[Tuple[NodeId, NodeId], float] = {}
@@ -329,6 +332,8 @@ class Network:
                 payload = verdict
 
         wire_bytes = size_bytes + self.overhead_bytes
+        if self.obs is not None:
+            self.obs.on_message(src, dst, payload, wire_bytes)
         self.stats.bytes_sent += wire_bytes
         link = (src, dst)
         self.stats.bytes_by_link[link] = self.stats.bytes_by_link.get(link, 0) + wire_bytes

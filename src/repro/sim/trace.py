@@ -14,7 +14,7 @@ by humans to see what a scenario actually did:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 
 @dataclass(frozen=True)
@@ -33,7 +33,7 @@ def _describe(payload: Any) -> str:
         value = getattr(payload, attribute, None)
         if value is not None:
             return f"{attribute}={value}"
-    return ""
+    return type(payload).__name__
 
 
 class MessageTracer:

@@ -42,6 +42,9 @@ class ConsensusInstance:
         self.decided_regency: Optional[int] = None
         self.tentative_hash: Optional[bytes] = None
         self.write_certificate: Optional[WriteCertificate] = None
+        #: lifecycle timestamps this replica observed (``at=`` params),
+        #: keyed "write_quorum" / "decided" -- feeds repro.obs reports
+        self.timestamps: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def writes(self, regency: int) -> VoteSet:
@@ -67,8 +70,12 @@ class ConsensusInstance:
     def value_of(self, value_hash: bytes) -> Optional[List[ClientRequest]]:
         return self.known_values.get(value_hash)
 
-    def record_write_quorum(self, regency: int, value_hash: bytes) -> None:
+    def record_write_quorum(
+        self, regency: int, value_hash: bytes, at: Optional[float] = None
+    ) -> None:
         """Snapshot the WRITE quorum as a proof for leader changes."""
+        if at is not None:
+            self.timestamps.setdefault("write_quorum", at)
         voters = self.writes(regency).voters_of(value_hash)
         self.write_certificate = WriteCertificate(
             cid=self.cid,
@@ -78,7 +85,11 @@ class ConsensusInstance:
             batch=self.known_values.get(value_hash),
         )
 
-    def mark_decided(self, regency: int, value_hash: bytes) -> None:
+    def mark_decided(
+        self, regency: int, value_hash: bytes, at: Optional[float] = None
+    ) -> None:
+        if at is not None:
+            self.timestamps.setdefault("decided", at)
         self.decided = True
         self.decided_hash = value_hash
         self.decided_regency = regency

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 #: Serialized message header: type, sender, consensus id, regency, MAC.
 MESSAGE_HEADER_BYTES = 84

@@ -18,7 +18,8 @@ through the custom replier instead (paper section 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Dict
+
 
 from repro.crypto.hashing import sha256
 from repro.sim.core import Future, Simulator
@@ -69,6 +70,8 @@ class ServiceProxy:
         self._sequence = 0
         self._pending: Dict[int, _PendingInvocation] = {}
         self.replies_received = 0
+        #: optional repro.obs.Observability hub (attached externally)
+        self.obs = None
         if register:
             network.register(client_id, self)
 
@@ -100,6 +103,8 @@ class ServiceProxy:
             results={},
         )
         self._pending[request.sequence] = invocation
+        if self.obs is not None:
+            self.obs.on_invoke(self.client_id, asynchronous=False)
         self._transmit(request)
         self.sim.schedule(self.invoke_timeout, self._check_retry, request.sequence)
         return invocation.future
@@ -113,6 +118,8 @@ class ServiceProxy:
             size_bytes=size_bytes,
             submit_time=self.sim.now,
         )
+        if self.obs is not None:
+            self.obs.on_invoke(self.client_id, asynchronous=True)
         self._transmit(request)
         return request
 
@@ -132,6 +139,8 @@ class ServiceProxy:
                 TimeoutError(f"request {self.client_id}:{sequence} gave up")
             )
             return
+        if self.obs is not None:
+            self.obs.on_retry(self.client_id)
         self._transmit(invocation.request)
         self.sim.schedule(self.invoke_timeout, self._check_retry, sequence)
 
@@ -173,6 +182,9 @@ class ServiceProxy:
     def _complete(self, invocation: _PendingInvocation, key: bytes) -> None:
         self._pending.pop(invocation.request.sequence, None)
         if not invocation.future.done:
+            if self.obs is not None:
+                latency = self.sim.now - invocation.request.submit_time
+                self.obs.on_reply(self.client_id, latency)
             invocation.future.resolve(invocation.results[key])
 
     # ------------------------------------------------------------------

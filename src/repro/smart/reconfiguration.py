@@ -11,7 +11,6 @@ ordering service's state is tiny (paper section 5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from repro.smart.view import View, max_faults
 

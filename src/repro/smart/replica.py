@@ -21,7 +21,7 @@ this class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.core import Simulator
@@ -202,6 +202,8 @@ class ServiceReplica:
         self.stats = stats
         self.counters = ReplicaCounters()
         self.faults = FaultControls()
+        #: optional repro.obs hub (attached by Observability.attach)
+        self.obs = None
 
         self.regency = 0
         self.last_executed = -1
@@ -313,6 +315,8 @@ class ServiceReplica:
                 self.replier(self, request, cached[1], cached[2], False)
             return
         request.submit_time = request.submit_time or self.sim.now
+        if self.obs is not None:
+            self.obs.on_request(self.replica_id, request, self.sim.now)
         self.pending.add(request, self.sim.now)
         self._maybe_propose()
 
@@ -341,6 +345,8 @@ class ServiceReplica:
             return
         cid = self.last_executed + 1
         self.active_cid = cid
+        if self.obs is not None:
+            self.obs.on_propose(self.replica_id, cid, batch, self.sim.now)
         inst = self.instance(cid)
         value_hash = inst.learn_value(batch)
         inst.proposed_hash[self.regency] = value_hash
@@ -439,8 +445,10 @@ class ServiceReplica:
         if regency != self.regency:
             return
         if votes.has_quorum(value_hash) or self.faults.skip_quorum_checks:
+            if self.obs is not None:
+                self.obs.on_write_quorum(self.replica_id, inst.cid, self.sim.now)
             if inst.write_certificate is None or inst.write_certificate.regency < regency:
-                inst.record_write_quorum(regency, value_hash)
+                inst.record_write_quorum(regency, value_hash, at=self.sim.now)
             self._cast_accept(inst, value_hash)
             if self.config.tentative_execution:
                 self._try_tentative(inst, value_hash, regency)
@@ -468,7 +476,9 @@ class ServiceReplica:
         if not inst.decided and (
             votes.has_quorum(value_hash) or self.faults.skip_quorum_checks
         ):
-            inst.mark_decided(regency, value_hash)
+            if self.obs is not None:
+                self.obs.on_decided(self.replica_id, inst.cid, self.sim.now)
+            inst.mark_decided(regency, value_hash, at=self.sim.now)
             self.counters.consensus_decided += 1
             self._try_execute()
 
@@ -506,6 +516,8 @@ class ServiceReplica:
 
     def _after_execution(self, inst: ConsensusInstance, batch: List[ClientRequest]) -> None:
         cid = inst.cid
+        if self.obs is not None:
+            self.obs.on_executed(self.replica_id, cid, len(batch), self.sim.now)
         self.last_executed = cid
         if self.active_cid == cid:
             self.active_cid = None

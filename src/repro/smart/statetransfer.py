@@ -14,7 +14,8 @@ stale peers) are simply never matched by ``f+1`` others.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Tuple
+
 
 from repro.smart.durability import Checkpoint, state_digest
 from repro.smart.messages import StateReply, StateRequest

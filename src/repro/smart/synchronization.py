@@ -96,6 +96,8 @@ class Synchronizer:
         self._stop_last_sent[target] = now
         stop = Stop(replica.replica_id, target)
         replica._broadcast(stop, stop.wire_size())
+        if replica.obs is not None:
+            replica.obs.on_stop_sent(replica.replica_id, target, now)
         self._record_stop(replica.replica_id, target)
 
     def on_stop(self, src: int, msg: Stop) -> None:
@@ -125,6 +127,8 @@ class Synchronizer:
         replica.regency = target
         replica.counters.regency_changes += 1
         self.changing_regency = True
+        if replica.obs is not None:
+            replica.obs.on_sync_started(replica.replica_id, target, replica.sim.now)
         new_leader = replica.view.leader_of(target)
         open_cid = replica.last_executed + 1
         inst = replica.instances.get(open_cid)
@@ -205,6 +209,9 @@ class Synchronizer:
         )
         others = [p for p in replica.view.processes if p != replica.replica_id]
         replica.network.broadcast(replica.replica_id, others, sync, sync.wire_size())
+        if replica.obs is not None and batch:
+            # the SYNC value is the effective proposal for the open instance
+            replica.obs.on_propose(replica.replica_id, open_cid, batch, replica.sim.now)
         self.on_sync(replica.replica_id, sync)
 
     def _select_value(
@@ -247,6 +254,8 @@ class Synchronizer:
             replica.regency = msg.regency
             replica.counters.regency_changes += 1
         self.changing_regency = False
+        if replica.obs is not None:
+            replica.obs.on_sync_completed(replica.replica_id, msg.regency, replica.sim.now)
         self._stop_sent = {r for r in self._stop_sent if r > msg.regency}
         replica._forwarded = False
 

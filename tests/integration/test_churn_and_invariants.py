@@ -1,6 +1,5 @@
 """Long-running churn scenarios and cluster-wide safety invariants."""
 
-import pytest
 
 from repro.fabric.api import BlockDelivery
 from repro.fabric.channel import ChannelConfig

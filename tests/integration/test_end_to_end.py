@@ -18,7 +18,6 @@ from repro.fabric import (
     Or,
     SignedBy,
     SmallBankChaincode,
-    ValidationCode,
 )
 from repro.fabric.client import EndorsementError
 from repro.ordering import OrderingServiceConfig, build_ordering_service

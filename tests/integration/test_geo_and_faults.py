@@ -5,7 +5,6 @@ in benchmarks/) plus liveness under lossy links and a censorship
 attempt by the leader.
 """
 
-import pytest
 
 from repro.bench.figures import geo_latency_experiment
 from repro.bench.topology import aws_latency_model

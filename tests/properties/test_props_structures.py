@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fabric.block import GENESIS_PREVIOUS_HASH, make_block
+from repro.fabric.block import make_block
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope
 from repro.fabric.ledger import Ledger

@@ -12,7 +12,6 @@ from repro.bench.tables import (
 from repro.bench.figures import AblationResult, LanSimResult
 from repro.bench.workload import ClosedLoopClients, OpenLoopGenerator, envelope_stream
 from repro.fabric.channel import ChannelConfig
-from repro.fabric.envelope import Envelope
 from repro.ordering import OrderingServiceConfig, build_ordering_service
 
 

@@ -9,8 +9,6 @@ from repro.crypto.mac import MacAuthenticator
 from repro.crypto.signatures import (
     DEFAULT_SIGN_COST,
     SimulatedECDSA,
-    Signer,
-    Verifier,
     make_keypair,
 )
 

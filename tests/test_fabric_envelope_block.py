@@ -4,7 +4,6 @@ import pytest
 
 from repro.fabric.block import (
     GENESIS_PREVIOUS_HASH,
-    Block,
     BlockHeader,
     compute_data_hash,
     genesis_block,

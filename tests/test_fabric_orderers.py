@@ -7,7 +7,6 @@ from repro.crypto.signatures import SimulatedECDSA
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope
 from repro.fabric.orderers import KafkaCluster, KafkaOrderer, SoloOrderer
-from repro.fabric.orderers.kafka import Produce
 from repro.sim import ConstantLatency, Network, Simulator
 
 

@@ -8,7 +8,7 @@ from repro.fabric.api import BlockDelivery
 from repro.fabric.block import GENESIS_PREVIOUS_HASH, make_block
 from repro.fabric.chaincode import AssetTransferChaincode, KVChaincode
 from repro.fabric.channel import ChannelConfig
-from repro.fabric.committer import CommittingPeer, ValidationCode
+from repro.fabric.committer import CommittingPeer
 from repro.fabric.endorser import EndorsingPeer
 from repro.fabric.envelope import ChaincodeProposal, Envelope
 from repro.fabric.policy import SignedBy

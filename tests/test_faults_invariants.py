@@ -14,8 +14,6 @@ from repro.faults import (
     EquivocatePropose,
     FaultInjector,
     SkipQuorumChecks,
-    Violation,
-    check_frontend_agreement,
     check_history_prefixes,
     check_liveness,
     check_log_agreement,

@@ -1,6 +1,5 @@
 """Final hardening: regency rotation, multi-channel TTC, misc edges."""
 
-import pytest
 
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope

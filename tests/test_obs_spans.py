@@ -1,0 +1,234 @@
+"""Unit tests for span tracing and the Chrome trace-event exporter."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SpanTracer,
+    TraceSchemaError,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return SpanTracer(clock)
+
+
+class TestNesting:
+    def test_auto_nesting_follows_call_stack(self, tracer, clock):
+        outer = tracer.begin("outer", track="r0")
+        clock.now = 1.0
+        inner = tracer.begin("inner", track="r0")
+        clock.now = 2.0
+        tracer.end(inner)
+        tracer.end(outer)
+        assert inner.parent == outer.sid
+        assert tracer.children(outer) == [inner]
+
+    def test_auto_nesting_is_per_track(self, tracer):
+        a = tracer.begin("a", track="r0")
+        b = tracer.begin("b", track="r1")
+        assert a.parent is None
+        assert b.parent is None
+
+    def test_explicit_parent_across_interleavings(self, tracer, clock):
+        lifecycle = tracer.begin("cid=0", track="consensus", root=True)
+        clock.now = 1.0
+        other = tracer.begin("cid=1", track="consensus", root=True)
+        write = tracer.begin("write", track="consensus", parent=lifecycle)
+        assert write.parent == lifecycle.sid
+        assert other.parent is None
+
+    def test_root_spans_ignore_open_stack(self, tracer):
+        tracer.begin("outer", track="t")
+        detached = tracer.begin("detached", track="t", root=True)
+        assert detached.parent is None
+
+    def test_root_and_parent_mutually_exclusive(self, tracer):
+        parent = tracer.begin("p", track="t")
+        with pytest.raises(ValueError):
+            tracer.begin("x", track="t", parent=parent, root=True)
+
+    def test_cannot_parent_to_ended_span(self, tracer):
+        parent = tracer.begin("p", track="t")
+        tracer.end(parent)
+        with pytest.raises(ValueError):
+            tracer.begin("x", track="t", parent=parent)
+
+    def test_double_end_raises(self, tracer):
+        span = tracer.begin("s", track="t")
+        tracer.end(span)
+        with pytest.raises(ValueError):
+            tracer.end(span)
+
+    def test_end_before_start_raises(self, tracer, clock):
+        clock.now = 5.0
+        span = tracer.begin("s", track="t")
+        with pytest.raises(ValueError):
+            tracer.end(span, at=1.0)
+
+    def test_duration_requires_closed_span(self, tracer, clock):
+        span = tracer.begin("s", track="t")
+        with pytest.raises(ValueError):
+            _ = span.duration
+        clock.now = 2.5
+        tracer.end(span)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_no_clock_requires_explicit_at(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            tracer.begin("s", track="t")
+        span = tracer.begin("s", track="t", at=0.0)
+        tracer.end(span, at=1.0)
+        assert span.duration == 1.0
+
+
+class TestOrphans:
+    def test_parent_ending_first_orphans_open_child(self, tracer):
+        parent = tracer.begin("p", track="t")
+        child = tracer.begin("c", track="t")
+        tracer.end(parent)
+        assert child in tracer.orphans()
+
+    def test_closed_child_is_not_orphaned(self, tracer):
+        parent = tracer.begin("p", track="t")
+        child = tracer.begin("c", track="t")
+        tracer.end(child)
+        tracer.end(parent)
+        assert tracer.orphans() == []
+
+    def test_close_orphans_every_open_span(self, tracer):
+        done = tracer.begin("done", track="t")
+        tracer.end(done)
+        left_open = tracer.begin("open", track="t")
+        orphans = tracer.close()
+        assert orphans == [left_open]
+        assert tracer.orphans() == [left_open]
+
+    def test_orphan_reported_once(self, tracer):
+        parent = tracer.begin("p", track="t")
+        child = tracer.begin("c", track="t")
+        tracer.end(parent)  # orphans child
+        tracer.close()      # child still open: must not double-count
+        assert tracer.orphans().count(child) == 1
+
+    def test_begin_after_close_raises(self, tracer):
+        tracer.close()
+        with pytest.raises(RuntimeError):
+            tracer.begin("late", track="t")
+
+
+class TestTreeView:
+    def test_tree_is_id_free_and_ordered(self, tracer, clock):
+        root = tracer.begin("root", track="t", cid=1)
+        clock.now = 1.0
+        tracer.end(tracer.begin("first", track="t"))
+        clock.now = 2.0
+        tracer.end(tracer.begin("second", track="t"))
+        tracer.end(root)
+        (node,) = tracer.tree("t")
+        assert node["name"] == "root"
+        assert node["args"] == {"cid": 1}
+        assert [c["name"] for c in node["children"]] == ["first", "second"]
+        assert "sid" not in node
+
+
+class TestChromeExport:
+    def build(self, tracer, clock):
+        span = tracer.begin("consensus", track="replica-0", category="smart")
+        clock.now = 0.010
+        tracer.instant("decided", track="replica-0", cid=0)
+        tracer.end(span)
+        tracer.begin("never-ends", track="replica-1")
+        tracer.close()
+        return chrome_trace(tracer)
+
+    def test_schema_validates(self, tracer, clock):
+        validate_chrome_trace(self.build(tracer, clock))
+
+    def test_complete_event_fields(self, tracer, clock):
+        doc = self.build(tracer, clock)
+        (x_event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x_event["name"] == "consensus"
+        assert x_event["cat"] == "smart"
+        assert x_event["ts"] == 0.0
+        assert x_event["dur"] == pytest.approx(10_000.0)  # microseconds
+
+    def test_metadata_names_every_track(self, tracer, clock):
+        doc = self.build(tracer, clock)
+        named = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert named == {"replica-0", "replica-1"}
+
+    def test_unfinished_span_becomes_instant(self, tracer, clock):
+        doc = self.build(tracer, clock)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        unfinished = [e for e in instants if "unfinished" in e["name"]]
+        assert len(unfinished) == 1
+        assert unfinished[0]["args"]["orphan"] is True
+
+    def test_document_round_trips_through_json(self, tracer, clock):
+        doc = self.build(tracer, clock)
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_write_validates_and_writes(self, tracer, clock, tmp_path):
+        path = write_chrome_trace(
+            self.build(tracer, clock), str(tmp_path / "trace.json")
+        )
+        validate_chrome_trace(json.load(open(path)))
+
+
+class TestSchemaValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_event_missing_required_key(self):
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "pid": 1}]}
+            )
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "?", "pid": 1, "tid": 1}]}
+            )
+
+    def test_rejects_negative_duration(self):
+        event = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -1}
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_non_serializable_args(self):
+        event = {
+            "name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1,
+            "args": {"payload": object()},
+        }
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace({"traceEvents": [event]})

@@ -1,6 +1,5 @@
 """Tests for the block cutter."""
 
-import pytest
 
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope

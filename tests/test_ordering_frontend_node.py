@@ -4,7 +4,7 @@ import pytest
 
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import SimulatedECDSA
-from repro.fabric.api import BlockDelivery, SubmitEnvelope
+from repro.fabric.api import SubmitEnvelope
 from repro.fabric.block import GENESIS_PREVIOUS_HASH, make_block
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope

@@ -1,6 +1,5 @@
 """Tests for runtime reconfiguration of the ordering service (§5.2)."""
 
-import pytest
 
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope

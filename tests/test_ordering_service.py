@@ -1,8 +1,6 @@
 """Integration tests for the complete BFT ordering service."""
 
-import pytest
 
-from repro.fabric.block import Block
 from repro.fabric.api import BlockDelivery
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope

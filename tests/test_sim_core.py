@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.core import Future, SimulationError, Simulator
+from repro.sim.core import SimulationError, Simulator
 
 
 class TestScheduling:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import CPU, Simulator, ThreadPool
+from repro.sim import CPU, ThreadPool
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import ConstantLatency, MatrixLatency, Network, Simulator
+from repro.sim import ConstantLatency, MatrixLatency, Network
 from repro.sim.network import MESSAGE_OVERHEAD_BYTES, NIC
 
 
@@ -39,7 +39,7 @@ class TestDelivery:
         )
 
     def test_transmission_time_scales_with_size(self, sim, net):
-        boxes = wire(net, "a", "b")
+        wire(net, "a", "b")
         net.send("a", "b", "big", size_bytes=1_000_000)
         sim.run()
         expected = 0.010 + (1_000_000 + MESSAGE_OVERHEAD_BYTES) * 8 / 1e9

@@ -1,8 +1,7 @@
 """Tests for the protocol tracer."""
 
-import pytest
 
-from repro.sim.trace import MessageTracer
+from repro.sim.trace import MessageTracer, _describe
 from tests.conftest import Cluster
 
 
@@ -53,6 +52,19 @@ class TestMessageTracer:
     def test_detail_extraction(self):
         _cluster, tracer = self.run_traced(kinds={"Propose"})
         assert tracer.events[0].detail == "cid=0"
+
+    def test_describe_probes_known_attributes(self):
+        class WithCid:
+            cid = 7
+
+        assert _describe(WithCid()) == "cid=7"
+
+    def test_describe_falls_back_to_type_name(self):
+        class Opaque:
+            pass
+
+        assert _describe(Opaque()) == "Opaque"
+        assert _describe("payload") == "str"
 
     def test_timeline_rendering(self):
         _cluster, tracer = self.run_traced(kinds={"Propose", "Write"})

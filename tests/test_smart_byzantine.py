@@ -6,7 +6,6 @@ the view, and network partitions.  Message-level attacks are expressed
 with the :mod:`repro.faults` DSL.
 """
 
-import pytest
 
 from repro.crypto.hashing import sha256
 from repro.faults import (
@@ -82,7 +81,7 @@ class TestForgedMessages:
 
     def test_propose_from_non_leader_ignored(self):
         cluster = Cluster()
-        proxy = cluster.proxy()
+        cluster.proxy()
         batch = [ClientRequest(client_id=9, sequence=0, operation=-5)]
         rogue = Propose(
             sender=2,  # not the regency-0 leader

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.crypto.hashing import sha256
 from repro.smart.durability import (
     Checkpoint,
     FileBackedLog,

@@ -1,6 +1,5 @@
 """Tests for the synchronous-logging (durable SMR) option."""
 
-import pytest
 
 from repro.sim import ConstantLatency, Network, Simulator
 from repro.smart import ReplicaConfig, ServiceProxy, ServiceReplica, View

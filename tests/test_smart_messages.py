@@ -1,6 +1,5 @@
 """Unit tests for message types and wire-size accounting."""
 
-import pytest
 
 from repro.smart.messages import (
     Accept,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.smart.messages import Reply
-from repro.smart.proxy import ServiceProxy, _result_key
+from repro.smart.proxy import _result_key
 from tests.conftest import Cluster
 
 

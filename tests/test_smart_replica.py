@@ -1,6 +1,5 @@
 """Tests for normal-case replication (no faults)."""
 
-import pytest
 
 from tests.conftest import Cluster
 
@@ -68,7 +67,6 @@ class TestDeduplication:
         proxy = cluster.proxy()
         future = proxy.invoke(5)
         assert cluster.drain([future])
-        request = None
         # retransmit the exact same request manually
         from repro.smart.messages import ClientRequest
 

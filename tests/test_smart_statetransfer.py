@@ -1,6 +1,5 @@
 """Tests for state transfer (recovery and catch-up)."""
 
-import pytest
 
 from tests.conftest import Cluster
 

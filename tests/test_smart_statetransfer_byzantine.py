@@ -1,6 +1,5 @@
 """State transfer against dishonest or stale peers."""
 
-import pytest
 
 from repro.crypto.hashing import sha256
 from repro.smart.durability import state_digest

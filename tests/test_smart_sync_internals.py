@@ -1,6 +1,5 @@
 """Unit tests for synchronization-phase internals (Mod-SMaRt rules)."""
 
-import pytest
 
 from repro.crypto.hashing import sha256
 from repro.smart.consensus import batch_hash
@@ -10,7 +9,6 @@ from repro.smart.messages import (
     Sync,
     WriteCertificate,
 )
-from tests.conftest import Cluster
 
 
 def request(seq, op=1, client=500):

@@ -46,7 +46,6 @@ class TestLeaderCrash:
         assert cluster.drain([proxy.invoke(1)])
         # the leader silently ignores all client requests from now on
         leader = cluster.replicas[0]
-        original = leader._maybe_propose
         leader._maybe_propose = lambda: None
         future = proxy.invoke(2)
         assert cluster.drain([future], deadline=30.0)

@@ -1,6 +1,5 @@
 """Tests for WHEAT: weighted quorums and tentative execution."""
 
-import pytest
 
 from repro.smart.wheat import WheatConfig, rank_by_latency, wheat_view
 from tests.conftest import Cluster
