@@ -11,7 +11,11 @@ BASELINE ?= benchmarks/baselines/BENCH_smoke.json
 CANDIDATE ?= BENCH_smoke.json
 TOLERANCE ?= 0.05
 
-.PHONY: test lint ci faults-smoke faults-explore bench-smoke bench-check bench-baseline bench-full
+# protocol-aware analysis knobs (see docs/ANALYSIS.md)
+ANALYZE_OUT ?= analysis-report.json
+DETSAN_OUT ?= detsan-report.json
+
+.PHONY: test lint analyze detsan ci faults-smoke faults-explore bench-smoke bench-check bench-baseline bench-full
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
@@ -22,8 +26,20 @@ test:
 lint:
 	$(PYTHON) tools/lint.py
 
+## protocol-aware static analysis: determinism (DET) and protocol
+## invariant (PROTO) rules over src/repro (see docs/ANALYSIS.md)
+analyze:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis check \
+		--json $(ANALYZE_OUT)
+
+## runtime determinism sanitizer: double-run the seeded smoke scenario
+## under different PYTHONHASHSEEDs and diff trace/span/metric views
+detsan:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis detsan \
+		--json $(DETSAN_OUT)
+
 ## everything CI's per-commit job runs, in order
-ci: lint test faults-smoke bench-smoke bench-check
+ci: lint analyze test faults-smoke bench-smoke bench-check
 
 ## quick confidence check: 5 explorer seeds (runs in seconds)
 faults-smoke:

@@ -1,0 +1,102 @@
+"""CLI for the protocol-aware analysis layer.
+
+Subcommands:
+
+- ``check [paths...]`` (the default): run the static DET/PROTO rules.
+- ``detsan``: the runtime determinism sanitizer (double-run + diff).
+- ``capture``: one instrumented scenario run to a JSON record --
+  internal, spawned twice by ``detsan`` under different hash seeds.
+- ``rules``: print the rule catalog.
+
+Exit status everywhere: 0 clean, 1 findings/divergence, 2 internal
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import detsan, engine
+from .rules import CATALOG
+from .suppress import DETSAN_RULES, UNKNOWN_SUPPRESSION
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=detsan.DEFAULT_SEED)
+    parser.add_argument(
+        "--duration", type=float, default=detsan.DEFAULT_DURATION
+    )
+    parser.add_argument("--rate", type=float, default=detsan.DEFAULT_RATE)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="protocol-aware static analysis + determinism sanitizer",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    check = sub.add_parser("check", help="run the static DET/PROTO rules")
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=list(engine.DEFAULT_PATHS),
+        help="files/directories to analyze (default: src/repro)",
+    )
+    check.add_argument("--json", dest="json_out", default=None)
+
+    det = sub.add_parser("detsan", help="runtime determinism sanitizer")
+    _add_scenario_args(det)
+    det.add_argument("--json", dest="json_out", default=None)
+
+    capture = sub.add_parser(
+        "capture", help="one instrumented run to a JSON record (internal)"
+    )
+    _add_scenario_args(capture)
+    capture.add_argument("--out", required=True)
+
+    sub.add_parser("rules", help="print the rule catalog")
+
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "check"):
+        paths = getattr(args, "paths", list(engine.DEFAULT_PATHS))
+        json_out = getattr(args, "json_out", None)
+        return engine.run(paths, json_out=json_out)
+    if args.command == "detsan":
+        return detsan.run(
+            seed=args.seed,
+            duration=args.duration,
+            rate=args.rate,
+            json_out=args.json_out,
+        )
+    if args.command == "capture":
+        record = detsan.capture_record(
+            seed=args.seed, duration=args.duration, rate=args.rate
+        )
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(record, sort_keys=True) + "\n")
+        return 0
+    if args.command == "rules":
+        for rule_id in sorted(CATALOG):
+            rule = CATALOG[rule_id]
+            scope = ""
+            if rule.only_under:
+                scope = f" [only under {', '.join(rule.only_under)}]"
+            elif rule.exempt_paths:
+                scope = f" [exempt: {', '.join(rule.exempt_paths)}]"
+            print(f"{rule_id}  {rule.title}{scope}")
+        for rule_id in DETSAN_RULES:
+            print(f"{rule_id}  runtime divergence (see docs/ANALYSIS.md)")
+        print(f"{UNKNOWN_SUPPRESSION}  suppression names an unknown rule")
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,314 @@
+"""DetSan: the runtime determinism sanitizer.
+
+Static rules catch the *patterns* that break determinism; DetSan
+catches the *fact*.  It runs the default observability scenario
+(4-node LAN, seeded) twice and diffs three independent views of the
+execution:
+
+- the ``sim/trace`` message-level event stream (every message send,
+  timestamped in simulated time),
+- the ``obs`` span tree (the normalized, id-free nested view), and
+- the metrics snapshot.
+
+Any divergence is a determinism bug.  DetSan further classifies the
+first event divergence: when the two runs emitted the *same multiset*
+of events at the divergent timestamp but in different order, the bug
+is a same-timestamp tie without a deterministic tie-break key
+(``DETSAN002``) -- the simulated-concurrency analogue of a data race.
+
+The two runs happen in **subprocesses with different
+``PYTHONHASHSEED`` values**.  That is the whole point: within one
+process, iterating a set of strings is repeatable, so an in-process
+double-run can never see hash-order nondeterminism.  Across processes
+with different hash seeds, any protocol path whose order leaks from a
+``set``/``dict`` of strings produces a different event stream and
+DetSan catches it.
+
+Runtime rules:
+
+- ``DETSAN001`` trace event streams diverge (general nondeterminism)
+- ``DETSAN002`` same-timestamp event tie ordered differently across
+  runs (missing deterministic tie-break key)
+- ``DETSAN003`` span trees diverge
+- ``DETSAN004`` metric snapshots diverge
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+SRC_ROOT = REPO_ROOT / "src"
+
+#: Default scenario: the bench/obs smoke configuration
+#: (tests/test_obs_scenario.py uses the same numbers).
+DEFAULT_SEED = 0
+DEFAULT_DURATION = 0.5
+DEFAULT_RATE = 400.0
+
+RECORD_SCHEMA = "repro-detsan-record/1"
+
+
+@dataclass(frozen=True)
+class DetSanFinding:
+    """One runtime divergence between the two seeded runs."""
+
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rule} {self.message}"
+
+    def to_json_dict(self) -> Dict[str, str]:
+        return {"rule": self.rule, "message": self.message}
+
+
+def _digest(value: Any) -> str:
+    return hashlib.sha256(
+        json.dumps(value, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def capture_record(
+    seed: int = DEFAULT_SEED,
+    duration: float = DEFAULT_DURATION,
+    rate: float = DEFAULT_RATE,
+) -> Dict[str, Any]:
+    """Run the scenario once and serialize the three views.
+
+    Events are ``[time, kind, src, dst, detail]`` rows in emission
+    order; digests are sha256 over the canonical (sorted-keys) JSON.
+    """
+    from repro.obs.report import run_scenario
+
+    result = run_scenario(
+        seed=seed, duration=duration, rate=rate, trace=True
+    )
+    assert result.trace is not None
+    events = [
+        [event.time, event.kind, str(event.src), str(event.dst), event.detail]
+        for event in result.trace.events
+    ]
+    span_tree = result.obs.tracer.tree()
+    metrics = result.obs.registry.snapshot()
+    record = {
+        "schema": RECORD_SCHEMA,
+        "scenario": {"seed": seed, "duration": duration, "rate": rate},
+        "hash_seed": os.environ.get("PYTHONHASHSEED", "random"),
+        "events": events,
+        "span_tree": span_tree,
+        "metrics": metrics,
+    }
+    record["digests"] = {
+        "events": _digest(events),
+        "span_tree": _digest(span_tree),
+        "metrics": _digest(metrics),
+    }
+    return record
+
+
+def _tie_group(
+    events: Sequence[Sequence[Any]], index: int
+) -> Tuple[int, List[Tuple[Any, ...]]]:
+    """All events sharing a timestamp with ``events[index]``, plus the
+    group's start index."""
+    timestamp = events[index][0]
+    start = index
+    while start > 0 and events[start - 1][0] == timestamp:
+        start -= 1
+    end = index
+    while end + 1 < len(events) and events[end + 1][0] == timestamp:
+        end += 1
+    return start, [tuple(event) for event in events[start : end + 1]]
+
+
+def compare_records(
+    first: Dict[str, Any], second: Dict[str, Any]
+) -> List[DetSanFinding]:
+    """Diff two capture records; empty list means deterministic."""
+    findings: List[DetSanFinding] = []
+    events_a = first["events"]
+    events_b = second["events"]
+    if first["digests"]["events"] != second["digests"]["events"]:
+        findings.extend(_diff_events(events_a, events_b))
+    if first["digests"]["span_tree"] != second["digests"]["span_tree"]:
+        findings.append(
+            DetSanFinding(
+                "DETSAN003",
+                "span trees diverge between runs "
+                f"({first['digests']['span_tree'][:12]} vs "
+                f"{second['digests']['span_tree'][:12]})",
+            )
+        )
+    if first["digests"]["metrics"] != second["digests"]["metrics"]:
+        keys_a, keys_b = set(first["metrics"]), set(second["metrics"])
+        changed = sorted(
+            key
+            for key in keys_a & keys_b
+            if first["metrics"][key] != second["metrics"][key]
+        )
+        detail = ", ".join(changed[:5]) or ", ".join(
+            sorted(keys_a ^ keys_b)[:5]
+        )
+        findings.append(
+            DetSanFinding(
+                "DETSAN004",
+                f"metric snapshots diverge between runs (first: {detail})",
+            )
+        )
+    return findings
+
+
+def _diff_events(
+    events_a: Sequence[Sequence[Any]], events_b: Sequence[Sequence[Any]]
+) -> List[DetSanFinding]:
+    limit = min(len(events_a), len(events_b))
+    divergence = None
+    for i in range(limit):
+        if list(events_a[i]) != list(events_b[i]):
+            divergence = i
+            break
+    if divergence is None:
+        return [
+            DetSanFinding(
+                "DETSAN001",
+                f"trace lengths diverge ({len(events_a)} vs "
+                f"{len(events_b)} events); runs are nondeterministic",
+            )
+        ]
+    start_a, group_a = _tie_group(events_a, divergence)
+    _, group_b = _tie_group(events_b, divergence)
+    timestamp = events_a[divergence][0]
+    if Counter(group_a) == Counter(group_b):
+        example = events_a[divergence]
+        return [
+            DetSanFinding(
+                "DETSAN002",
+                f"same-timestamp tie at t={timestamp:.6f}s "
+                f"(events {start_a}..{start_a + len(group_a) - 1}) is "
+                "ordered differently across runs -- missing a "
+                "deterministic tie-break key; first reordered event: "
+                f"{example[1]} {example[2]}->{example[3]} ({example[4]})",
+            )
+        ]
+    return [
+        DetSanFinding(
+            "DETSAN001",
+            f"trace event streams diverge at event {divergence} "
+            f"(t={timestamp:.6f}s): "
+            f"{events_a[divergence][1:4]} vs {events_b[divergence][1:4]}",
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# the double-run driver
+# ----------------------------------------------------------------------
+def _capture_subprocess(
+    seed: int,
+    duration: float,
+    rate: float,
+    hash_seed: str,
+    out_path: Path,
+) -> Dict[str, Any]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = str(SRC_ROOT)
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src + os.pathsep + existing if existing else src
+        )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.analysis",
+        "capture",
+        "--seed",
+        str(seed),
+        "--duration",
+        str(duration),
+        "--rate",
+        str(rate),
+        "--out",
+        str(out_path),
+    ]
+    subprocess.run(cmd, check=True, env=env, cwd=REPO_ROOT)
+    return json.loads(out_path.read_text())
+
+
+def double_run(
+    seed: int = DEFAULT_SEED,
+    duration: float = DEFAULT_DURATION,
+    rate: float = DEFAULT_RATE,
+    work_dir: Optional[Path] = None,
+) -> Tuple[List[DetSanFinding], Dict[str, Any], Dict[str, Any]]:
+    """Capture the scenario twice under different hash seeds and diff.
+
+    Returns ``(findings, first_record, second_record)``.
+    """
+    import tempfile
+
+    if work_dir is None:
+        with tempfile.TemporaryDirectory(prefix="detsan-") as tmp:
+            return double_run(seed, duration, rate, Path(tmp))
+    first = _capture_subprocess(
+        seed, duration, rate, "1", work_dir / "run1.json"
+    )
+    second = _capture_subprocess(
+        seed, duration, rate, "2", work_dir / "run2.json"
+    )
+    return compare_records(first, second), first, second
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    duration: float = DEFAULT_DURATION,
+    rate: float = DEFAULT_RATE,
+    json_out: Optional[str] = None,
+) -> int:
+    """CLI entry for ``python -m repro.analysis detsan``."""
+    print(
+        f"[detsan] double-running scenario seed={seed} "
+        f"duration={duration}s rate={rate}/s "
+        "(PYTHONHASHSEED 1 vs 2)"
+    )
+    try:
+        findings, first, second = double_run(seed, duration, rate)
+    except subprocess.CalledProcessError as exc:
+        print(f"[detsan] capture subprocess failed: {exc}")
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if json_out:
+        doc = {
+            "schema": "repro-detsan-report/1",
+            "clean": not findings,
+            "scenario": first["scenario"],
+            "digests": {
+                "first": first["digests"],
+                "second": second["digests"],
+            },
+            "event_count": len(first["events"]),
+            "findings": [finding.to_json_dict() for finding in findings],
+        }
+        out = Path(json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    if findings:
+        print(f"[detsan] {len(findings)} divergence(s)")
+        return 1
+    print(
+        "[detsan] deterministic: "
+        f"{len(first['events'])} events, trace digest "
+        f"{first['digests']['events'][:16]} identical across hash seeds"
+    )
+    return 0

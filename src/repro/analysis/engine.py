@@ -1,0 +1,121 @@
+"""Driver for the protocol-aware static analysis.
+
+Walks the analyzed tree (``src/repro`` by default), runs the
+:mod:`repro.analysis.rules` checkers on every file, filters findings
+through the shared ``# repro: allow[DET001]``-style suppressions, and
+reports ``path:line:col: RULE message`` lines plus an optional JSON
+report for CI artifacts.
+
+Exit status mirrors ``tools/lint.py``: 0 clean, 1 findings, 2 internal
+error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .rules import CATALOG, Finding, check_source
+from .suppress import (
+    UNKNOWN_SUPPRESSION,
+    is_suppressed,
+    parse_suppressions,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Default analysis surface: the package itself.  Tests and tools are
+#: deliberately out of scope -- tests may plant violations on purpose.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_source(rel_path: str, source: str) -> List[Finding]:
+    """Check one file's source, applying inline suppressions."""
+    raw = check_source(rel_path, source)
+    suppressions, unknown = parse_suppressions(source)
+    findings = [
+        finding
+        for finding in raw
+        if not is_suppressed(suppressions, finding.line, finding.rule)
+    ]
+    for lineno, name in unknown:
+        findings.append(
+            Finding(
+                rule=UNKNOWN_SUPPRESSION,
+                path=rel_path,
+                line=lineno,
+                col=0,
+                message=f"suppression names unknown rule {name!r} "
+                "(typos never silence anything)",
+            )
+        )
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[str] = DEFAULT_PATHS,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Analyze every ``.py`` file under ``paths`` (relative to ``root``)."""
+    root = (root or REPO_ROOT).resolve()
+    targets = [
+        (root / p) if not Path(p).is_absolute() else Path(p) for p in paths
+    ]
+    findings: List[Finding] = []
+    for path in _iter_python_files(targets):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(analyze_source(_rel(path, root), source))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def write_report(findings: Sequence[Finding], out_path: Path) -> None:
+    """Write the machine-readable report CI uploads on failure."""
+    doc = {
+        "schema": "repro-analysis-report/1",
+        "clean": not findings,
+        "finding_count": len(findings),
+        "rules": sorted(CATALOG),
+        "findings": [finding.to_json_dict() for finding in findings],
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def run(
+    paths: Sequence[str] = DEFAULT_PATHS,
+    json_out: Optional[str] = None,
+    root: Optional[Path] = None,
+) -> int:
+    """CLI entry: print findings, optionally write the JSON report."""
+    try:
+        findings = analyze_paths(paths, root=root)
+    except OSError as exc:
+        print(f"[analyze] error: {exc}")
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if json_out:
+        write_report(findings, Path(json_out))
+    if findings:
+        print(f"[analyze] {len(findings)} finding(s)")
+        return 1
+    print("[analyze] clean")
+    return 0

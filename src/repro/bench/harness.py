@@ -527,7 +527,7 @@ def run_suite(
     return SuiteResult(
         run_name=run_name,
         mode=mode,
-        created_unix=time.time(),
+        created_unix=time.time(),  # repro: allow[DET001] provenance stamp, not simulated time
         environment=environment_fingerprint(),
         benchmarks=results,
     )

@@ -75,7 +75,7 @@ def audit_ledger(
         valid = invalid = unknown = 0
         if registry is not None:
             payload = block.header.signing_payload()
-            for signer, signature in block.signatures.items():
+            for signer, signature in sorted(block.signatures.items()):
                 if orderer_names is not None and signer not in orderer_names:
                     unknown += 1
                     continue

@@ -57,7 +57,7 @@ class ChaincodeStub:
         for key, entry in self._state.range(start, end):
             self.read_set.reads.setdefault(key, entry.version)
             result[key] = entry.value
-        for key, value in self.write_set.writes.items():
+        for key, value in sorted(self.write_set.writes.items()):
             if start <= key < end:
                 if value is None:
                     result.pop(key, None)

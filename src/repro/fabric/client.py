@@ -182,10 +182,12 @@ class FabricClient:
         """Step 3: match responses, check the policy, build the envelope."""
         if pending.submitted or pending.is_query:
             return
-        successes = [r for r in pending.responses.values() if r.success]
+        successes = [
+            r for _, r in sorted(pending.responses.items()) if r.success
+        ]
         if not successes:
             if len(pending.responses) == len(pending.endorsers):
-                failure = next(iter(pending.responses.values()))
+                failure = pending.responses[min(pending.responses)]
                 pending.future.fail(EndorsementError(str(failure.result)))
                 self._pending.pop(pending.proposal.digest(), None)
             return
@@ -194,7 +196,7 @@ class FabricClient:
         for response in successes:
             key = response.signed_payload()
             groups.setdefault(key, []).append(response)
-        for matching in groups.values():
+        for _, matching in sorted(groups.items()):
             orgs = {r.org for r in matching}
             if pending.policy.satisfied_by(orgs):
                 self._assemble_and_submit(pending, matching)

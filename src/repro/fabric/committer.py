@@ -92,7 +92,7 @@ def validate_block(
             codes.append(ValidationCode.ENDORSEMENT_POLICY_FAILURE)
             continue
         conflict = False
-        for key, version in tx.read_set.reads.items():
+        for key, version in sorted(tx.read_set.reads.items()):
             if key in block_writes:
                 conflict = True  # an earlier tx in this block wrote it
                 break
@@ -175,14 +175,16 @@ class CommittingPeer:
             return  # this peer is not a member of that channel
         if block.header.number < self.ledger.height:
             return  # duplicate delivery (e.g. from several frontends)
+        if not self._block_signatures_ok(block):
+            # verify before buffering: an unsigned future block must not
+            # occupy the gap buffer or trigger gossip fetches
+            self.rejected_blocks += 1
+            return
         if block.header.number > self.ledger.height:
             # gap: buffer the future block and gossip for the missing
             # range, like Fabric's deliver/gossip services
             self._future_blocks.setdefault(block.header.number, block)
             self._request_missing(block.header.number - 1)
-            return
-        if not self._block_signatures_ok(block):
-            self.rejected_blocks += 1
             return
         codes = validate_block(
             block, self.state, self._policy_for, self.registry, self._seen_tx_ids
@@ -252,7 +254,7 @@ class CommittingPeer:
             return len(block.signatures) >= self.required_block_signatures
         payload = block.header.signing_payload()
         valid = 0
-        for signer, signature in block.signatures.items():
+        for signer, signature in sorted(block.signatures.items()):
             if self.orderer_names and signer not in self.orderer_names:
                 continue
             if signer not in self.registry:

@@ -195,7 +195,7 @@ class KafkaCluster:
     def follower_names(self, leader: str) -> List[str]:
         return [
             name
-            for name, broker in self.brokers.items()
+            for name, broker in sorted(self.brokers.items())
             if name != leader and not broker.crashed
         ]
 
@@ -210,7 +210,11 @@ class KafkaCluster:
         """Controller logic: elect the most up-to-date surviving broker."""
         if name != self.leader_name:
             return
-        candidates = [b for b in self.brokers.values() if not b.crashed]
+        # sorted by name so the max() tie-break (first occurrence wins)
+        # elects the lowest-named of the equally caught-up brokers
+        candidates = [
+            b for _, b in sorted(self.brokers.items()) if not b.crashed
+        ]
         if not candidates:
             return
         new_leader = max(candidates, key=lambda b: len(b.log))

@@ -51,7 +51,7 @@ class VersionedKVStore:
     def apply_write_set(
         self, writes: Dict[str, Optional[object]], version: Version
     ) -> None:
-        for key, value in writes.items():
+        for key, value in sorted(writes.items()):
             self.apply_write(key, value, version)
 
     def keys(self) -> Iterator[str]:

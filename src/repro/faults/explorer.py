@@ -41,6 +41,7 @@ from repro.faults.invariants import (
     replica_log_digests,
 )
 from repro.faults.scenario import FaultEvent, Scenario
+from repro.smart.view import bft_group_size
 from repro.ordering.service import OrderingServiceConfig, build_ordering_service
 from repro.sim.randomness import RandomStreams
 
@@ -70,7 +71,7 @@ class ExplorerConfig:
 
     @property
     def n(self) -> int:
-        return 3 * self.f + 1
+        return bft_group_size(self.f)
 
 
 @dataclass

@@ -21,6 +21,8 @@ from typing import List, Optional, Tuple
 
 
 from repro.bench.topology import lan_latency_model
+from repro.sim.trace import MessageTracer
+from repro.smart.view import bft_group_size, max_faults
 from repro.bench.workload import OpenLoopGenerator
 from repro.fabric.channel import ChannelConfig
 from repro.obs.observability import PHASES, Observability
@@ -43,6 +45,9 @@ class ScenarioResult:
     service: OrderingService
     obs: Observability
     submitted: int
+    #: message-level trace, captured only when ``run_scenario`` is
+    #: called with ``trace=True`` (the DetSan double-run needs it)
+    trace: Optional[MessageTracer] = None
 
 
 def run_scenario(
@@ -52,13 +57,14 @@ def run_scenario(
     rate: float = 500.0,
     envelope_size: int = 1024,
     block_size: int = 10,
+    trace: bool = False,
 ) -> ScenarioResult:
     """Drive a seeded ``orderers``-node LAN deployment at a moderate
     load with the hub attached, then close tracing."""
-    f = (orderers - 1) // 3
+    f = max_faults(orderers)
     config = OrderingServiceConfig(
         f=f,
-        delta=orderers - (3 * f + 1),
+        delta=orderers - bft_group_size(f),
         channel=ChannelConfig(
             "channel0", max_message_count=block_size, batch_timeout=10.0
         ),
@@ -73,6 +79,7 @@ def run_scenario(
     )
     obs = Observability()
     service = build_ordering_service(config, observability=obs)
+    tracer = MessageTracer(service.network) if trace else None
     generator = OpenLoopGenerator(
         sim=service.sim,
         frontends=service.frontends,
@@ -85,7 +92,12 @@ def run_scenario(
     # run past the submission window so in-flight envelopes drain
     service.run(duration + 1.0)
     obs.close()
-    return ScenarioResult(service=service, obs=obs, submitted=generator.submitted)
+    return ScenarioResult(
+        service=service,
+        obs=obs,
+        submitted=generator.submitted,
+        trace=tracer,
+    )
 
 
 # ----------------------------------------------------------------------

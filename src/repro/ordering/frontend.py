@@ -28,6 +28,7 @@ from repro.sim.core import Simulator
 from repro.sim.monitor import StatsRegistry
 from repro.sim.network import Network
 from repro.smart.proxy import ServiceProxy
+from repro.smart.view import byzantine_majority_size, one_correct_size
 
 
 @dataclass
@@ -81,8 +82,8 @@ class Frontend:
     def matching_copies_needed(self) -> int:
         """2f+1 without signature verification, f+1 with (footnote 8)."""
         if self.verify_signatures:
-            return self.f + 1
-        return 2 * self.f + 1
+            return one_correct_size(self.f)
+        return byzantine_majority_size(self.f)
 
     def attach_peer(self, peer_id: object) -> None:
         if peer_id not in self.peers:
@@ -155,7 +156,7 @@ class Frontend:
         (so peers get at least f+1 valid ones) and deliver it as soon
         as every predecessor has been delivered."""
         merged: Optional[Block] = None
-        for copy in copies.values():
+        for _, copy in sorted(copies.items()):
             if merged is None:
                 merged = Block(
                     header=copy.header,

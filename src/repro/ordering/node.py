@@ -185,7 +185,7 @@ class BFTOrderingNode(StateMachine):
     def set_state(self, snapshot: Any) -> None:
         if snapshot is None:
             return
-        for channel_id, entry in snapshot.items():
+        for channel_id, entry in sorted(snapshot.items()):
             config = self._channel_configs.get(channel_id)
             if config is None:
                 continue

@@ -26,7 +26,7 @@ from repro.sim.randomness import RandomStreams
 from repro.smart.messages import ClientRequest
 from repro.smart.proxy import ServiceProxy
 from repro.smart.replica import ReplicaConfig, ServiceReplica, default_replier
-from repro.smart.view import View, binary_weights
+from repro.smart.view import View, bft_group_size, binary_weights
 
 #: network-id base for frontends (BFT-SMaRt client ids)
 FRONTEND_ID_BASE = 1000
@@ -74,7 +74,7 @@ class OrderingServiceConfig:
 
     @property
     def n(self) -> int:
-        return 3 * self.f + 1 + self.delta
+        return bft_group_size(self.f, self.delta)
 
 
 def ordering_replier(replica, request: ClientRequest, result, regency, tentative):

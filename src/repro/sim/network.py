@@ -74,7 +74,7 @@ class MatrixLatency(LatencyModel):
         local_delay: float = 0.0001,
     ):
         self.matrix: Dict[Tuple[str, str], float] = {}
-        for (a, b), value in matrix.items():
+        for (a, b), value in sorted(matrix.items()):
             self.matrix[(a, b)] = value
             self.matrix.setdefault((b, a), value)
         self.jitter_fraction = jitter_fraction
@@ -272,7 +272,12 @@ class Network:
         return set(self._blocked)
 
     def crashed_nodes(self) -> list[NodeId]:
-        return [nid for nid, node in self._nodes.items() if node.crashed]
+        # node ids mix ints and strings; sort on str for a total order
+        return [
+            nid
+            for nid, node in sorted(self._nodes.items(), key=lambda kv: str(kv[0]))
+            if node.crashed
+        ]
 
     def set_drop_rate(self, a: NodeId, b: NodeId, rate: float) -> None:
         """Drop messages on (a -> b) independently with probability ``rate``."""

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, Tuple
 
 from repro.smart.durability import Checkpoint, state_digest
 from repro.smart.messages import StateReply, StateRequest
+from repro.smart.view import one_correct_size
 
 if TYPE_CHECKING:
     from repro.smart.replica import ServiceReplica
@@ -90,27 +91,32 @@ class StateTransfer:
             group[src] = msg
             if (
                 msg.last_cid == replica.last_executed
-                and len(group) >= replica.view.f + 1
+                and len(group) >= one_correct_size(replica.view.f)
             ):
                 self._finish()
             return
         key = (msg.checkpoint_cid, msg.state_hash, msg.last_cid)
         group = self._replies.setdefault(key, {})
         group[src] = msg
-        if len(group) >= replica.view.f + 1:
-            self._install(msg, group)
+        if len(group) >= one_correct_size(replica.view.f):
+            self._install(group)
 
     # ------------------------------------------------------------------
-    def _install(self, sample: StateReply, group: Dict[int, StateReply]) -> None:
+    def _install(self, group: Dict[int, StateReply]) -> None:
         replica = self.replica
-        # double-check the claimed digest against the shipped state
-        if state_digest(sample.state) != sample.state_hash:
-            candidates = [
-                r for r in group.values() if state_digest(r.state) == r.state_hash
-            ]
-            if not candidates:
-                return
-            sample = candidates[0]
+        # double-check the claimed digest against the shipped state, and
+        # take the verified reply from the lowest replica id: the group
+        # agrees on (checkpoint_cid, state_hash, last_cid), so any
+        # verified member works, but the choice must not depend on dict
+        # arrival order or the replay below diverges across seeds
+        candidates = [
+            reply
+            for _, reply in sorted(group.items())
+            if state_digest(reply.state) == reply.state_hash
+        ]
+        if not candidates:
+            return
+        sample = candidates[0]
         if sample.checkpoint_cid > replica.last_executed:
             replica.app.set_state(sample.state)
             replica.last_executed = sample.checkpoint_cid

@@ -37,6 +37,18 @@ from repro.smart.messages import (
     Sync,
     WriteCertificate,
 )
+from repro.smart.view import byzantine_majority_size
+
+
+class EmptySyncRound(RuntimeError):
+    """A SYNC value selection ran with no STOPDATA reports.
+
+    ``on_stopdata`` only triggers ``_send_sync`` after collecting
+    ``n - f`` reports, so an empty report set means the collection
+    invariant was bypassed (e.g. a Byzantine-suppressed sync round or
+    a harness driving internals directly).  Failing loudly beats the
+    bare ``ValueError`` that ``max()`` over an empty generator raises.
+    """
 
 if TYPE_CHECKING:
     from repro.smart.replica import ServiceReplica
@@ -116,7 +128,7 @@ class Synchronizer:
         f = replica.view.f
         if len(votes) > f:
             self._send_stop(target)  # join the change
-        if len(votes) >= 2 * f + 1 and target > replica.regency:
+        if len(votes) >= byzantine_majority_size(f) and target > replica.regency:
             self._install_regency(target)
 
     # ------------------------------------------------------------------
@@ -193,6 +205,11 @@ class Synchronizer:
     # ------------------------------------------------------------------
     def _send_sync(self, regency: int, reports: Dict[int, StopData]) -> None:
         replica = self.replica
+        if not reports:
+            raise EmptySyncRound(
+                f"replica {replica.replica_id}: SYNC for regency {regency} "
+                "has no STOPDATA reports to select a value from"
+            )
         self._sync_sent.add(regency)
         open_cid = max(sd.last_executed_cid for sd in reports.values()) + 1
         open_cid = max(open_cid, replica.last_executed + 1)
@@ -205,7 +222,7 @@ class Synchronizer:
             cid=open_cid,
             batch=batch,
             value_hash=value_hash,
-            proofs=list(reports.values()),
+            proofs=[report for _, report in sorted(reports.items())],
         )
         others = [p for p in replica.view.processes if p != replica.replica_id]
         replica.network.broadcast(replica.replica_id, others, sync, sync.wire_size())
@@ -219,7 +236,7 @@ class Synchronizer:
     ) -> List[ClientRequest]:
         """The Mod-SMaRt value-selection rule."""
         best: Optional[WriteCertificate] = None
-        for report in reports.values():
+        for _, report in sorted(reports.items()):
             cert = report.write_certificate
             if cert is None or cert.cid != open_cid or cert.batch is None:
                 continue
@@ -231,7 +248,7 @@ class Synchronizer:
         # requests (FIFO by submission), capped at the batch limit
         replica = self.replica
         merged: Dict = {}
-        for report in reports.values():
+        for _, report in sorted(reports.items()):
             for request in report.pending:
                 if request.request_id in replica._executed_ids:
                     continue

@@ -24,6 +24,30 @@ def classic_quorum(n: int, f: int) -> int:
     return math.ceil((n + f + 1) / 2)
 
 
+def one_correct_size(f: int) -> int:
+    """``f + 1``: any such set contains at least one correct replica.
+
+    The threshold for trusting a matching answer (state-transfer
+    replies, final client replies, block-copy witnesses).
+    """
+    return f + 1
+
+
+def byzantine_majority_size(f: int) -> int:
+    """``2f + 1``: a majority of the correct replicas.
+
+    The STOP/regency-change quorum and the unweighted vote count that
+    guarantees intersection in a correct replica.
+    """
+    return 2 * f + 1
+
+
+def bft_group_size(f: int, delta: int = 0) -> int:
+    """``3f + 1 + delta``: the smallest group tolerating ``f``
+    Byzantine faults with ``delta`` spare replicas (WHEAT)."""
+    return 3 * f + 1 + delta
+
+
 def max_faults(n: int, delta: int = 0) -> int:
     """Largest f such that n >= 3f + 1 + delta."""
     f = (n - 1 - delta) // 3

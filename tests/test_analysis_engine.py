@@ -1,0 +1,103 @@
+"""End-to-end tests for ``python -m repro.analysis`` (the static pass).
+
+The acceptance criterion of the analysis layer, as a test: the repo
+itself is clean (with zero suppressions in the smart/ protocol paths),
+and a planted violation of each family makes the CLI exit non-zero
+naming the rule and the ``file:line``.
+"""
+
+import json
+import re
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.engine import REPO_ROOT, analyze_paths
+from repro.analysis.suppress import SUPPRESS_RE
+
+SMART = REPO_ROOT / "src" / "repro" / "smart"
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_findings(self):
+        assert analyze_paths() == []
+
+    def test_cli_exits_zero_on_repo(self, capsys):
+        assert analysis_main(["check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_smart_protocol_paths_have_zero_suppressions(self):
+        offenders = []
+        for path in sorted(SMART.rglob("*.py")):
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if SUPPRESS_RE.search(line):
+                    offenders.append(f"{path.name}:{lineno}")
+        assert offenders == []
+
+
+class TestPlantedViolations:
+    """One scratch violation per family -> non-zero exit, rule id, file:line."""
+
+    def plant(self, tmp_path, source):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text(source)
+        return scratch
+
+    def test_planted_det_violation_found(self, tmp_path, capsys):
+        scratch = self.plant(
+            tmp_path, "import time\n\nnow = time.time()\n"
+        )
+        code = analysis_main(["check", str(scratch)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DET001" in out
+        assert re.search(r"scratch\.py:3:\d+", out)
+
+    def test_planted_proto_violation_found(self, tmp_path, capsys):
+        scratch = self.plant(
+            tmp_path, "def quorum(self):\n    return 2 * self.f + 1\n"
+        )
+        code = analysis_main(["check", str(scratch)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "PROTO001" in out
+        assert re.search(r"scratch\.py:2:\d+", out)
+
+    def test_json_report_written(self, tmp_path, capsys):
+        scratch = self.plant(tmp_path, "import heapq\n")
+        report = tmp_path / "report.json"
+        code = analysis_main(["check", str(scratch), "--json", str(report)])
+        capsys.readouterr()
+        assert code == 1
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro-analysis-report/1"
+        assert doc["clean"] is False
+        assert doc["findings"][0]["rule"] == "PROTO003"
+        assert doc["findings"][0]["line"] == 1
+
+    def test_clean_file_json_report(self, tmp_path, capsys):
+        scratch = self.plant(tmp_path, "x = 1\n")
+        report = tmp_path / "report.json"
+        code = analysis_main(["check", str(scratch), "--json", str(report)])
+        capsys.readouterr()
+        assert code == 0
+        assert json.loads(report.read_text())["clean"] is True
+
+
+class TestCli:
+    def test_rules_catalog_lists_all_families(self, capsys):
+        assert analysis_main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "DET001",
+            "DET005",
+            "PROTO001",
+            "PROTO003",
+            "DETSAN001",
+            "SUP001",
+        ):
+            assert rule_id in out
+
+    def test_default_command_is_check(self, capsys):
+        assert analysis_main([]) == 0
+        assert "clean" in capsys.readouterr().out

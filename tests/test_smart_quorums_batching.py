@@ -169,3 +169,60 @@ class TestConsensusInstance:
         inst = ConsensusInstance(0, view)
         inst.writes(0).add(0, b"h")
         assert inst.writes(1).weight_for(b"h") == 0.0
+
+
+class TestEquivocatorTracking:
+    """Satellite: equivocation bookkeeping in VoteSet (a Byzantine
+    replica voting two hashes in one instance)."""
+
+    def test_equivocator_recorded(self, view):
+        votes = VoteSet(view)
+        assert votes.add(0, b"h1")
+        assert not votes.add(0, b"h2")
+        assert votes.equivocators == {0}
+
+    def test_weight_counted_at_most_once_across_hashes(self, view):
+        votes = VoteSet(view)
+        votes.add(0, b"h1")
+        votes.add(0, b"h2")
+        # the first vote stands; the conflicting one adds no weight
+        assert votes.weight_for(b"h1") == 1.0
+        assert votes.weight_for(b"h2") == 0.0
+        assert votes.total_votes == 1
+
+    def test_equivocator_cannot_tip_two_quorums(self, view):
+        """With n=4, f=1 the quorum is 3 votes; an equivocator plus two
+        honest votes per hash must not certify both values."""
+        votes = VoteSet(view)
+        votes.add(0, b"h1")
+        votes.add(1, b"h1")
+        votes.add(2, b"h2")
+        votes.add(3, b"h2")
+        votes.add(0, b"h2")  # equivocation: does not count for h2
+        assert 0 in votes.equivocators
+        assert not votes.has_quorum(b"h2")
+        assert votes.add(2, b"h1") is False  # 2 already voted h2
+        assert not votes.has_quorum(b"h1")
+
+    def test_third_vote_still_flags_once(self, view):
+        votes = VoteSet(view)
+        votes.add(1, b"a")
+        votes.add(1, b"b")
+        votes.add(1, b"c")
+        assert votes.equivocators == {1}
+        assert votes.weight_for(b"a") == 1.0
+        assert votes.voters_of(b"b") == ()
+        assert votes.voters_of(b"c") == ()
+
+    def test_weighted_equivocator_counts_vmax_once(self):
+        from repro.smart.wheat import wheat_view
+
+        view = wheat_view(0, (0, 1, 2, 3, 4), f=1, delta=1)
+        votes = VoteSet(view)
+        vmax = view.vmax
+        assert vmax > 1.0
+        votes.add(0, b"h1")  # a Vmax holder
+        votes.add(0, b"h2")
+        assert votes.weight_for(b"h1") == vmax
+        assert votes.weight_for(b"h2") == 0.0
+        assert votes.equivocators == {0}

@@ -109,3 +109,55 @@ class TestStateTransferRobustness:
         cluster.run(6.0)
         assert cluster.apps[3].total == 28
         assert cluster.apps[3].history == cluster.apps[0].history
+
+
+class TestCandidateSelection:
+    """The install step must not depend on reply arrival order."""
+
+    def make_reply(self, sender, state, log_op, cid=6):
+        from repro.smart.messages import ClientRequest
+
+        batch = [ClientRequest(client_id=900 + sender, sequence=0, operation=log_op)]
+        return StateReply(
+            sender=sender,
+            checkpoint_cid=5,
+            state=state,
+            state_hash=state_digest(state),
+            log=[(cid, batch)],
+            last_cid=cid,
+        )
+
+    def test_lowest_replica_id_wins_regardless_of_arrival(self, cluster):
+        """Replies agree on (checkpoint, hash, last_cid) but differ in
+        their log field; the reply from the lowest replica id must be
+        the one replayed, whatever order the replies arrived in."""
+        replica = cluster.replicas[3]
+        replica.state_transfer.in_progress = True
+        state = {"total": 10, "history": [10]}
+        # arrival order 1 then 2: the pre-fix code installed from the
+        # *triggering* (last-arriving) reply, i.e. sender 2's log
+        replica.state_transfer.on_state_reply(1, self.make_reply(1, state, log_op=7))
+        replica.state_transfer.on_state_reply(2, self.make_reply(2, state, log_op=9))
+        assert replica.last_executed == 6
+        assert cluster.apps[3].total == 17  # checkpoint 10 + sender 1's op 7
+        assert cluster.apps[3].history[-1] == 7
+
+    def test_corrupt_lowest_reply_skipped_for_next_verified(self, cluster):
+        """A lowest-id reply whose shipped state fails its own digest
+        is skipped; the next verified reply (by id) installs."""
+        replica = cluster.replicas[3]
+        replica.state_transfer.in_progress = True
+        state = {"total": 10, "history": [10]}
+        bad = self.make_reply(1, state, log_op=7)
+        bad = StateReply(
+            sender=1,
+            checkpoint_cid=bad.checkpoint_cid,
+            state={"total": -1, "history": [-1]},  # does not match hash
+            state_hash=bad.state_hash,
+            log=bad.log,
+            last_cid=bad.last_cid,
+        )
+        replica.state_transfer.on_state_reply(1, bad)
+        replica.state_transfer.on_state_reply(2, self.make_reply(2, state, log_op=9))
+        assert replica.last_executed == 6
+        assert cluster.apps[3].total == 19  # sender 2's log replayed

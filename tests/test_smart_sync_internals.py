@@ -190,3 +190,38 @@ class TestSyncAcceptance:
         inst = replica.instances[0]
         assert inst.proposed_hash[1] == batch_hash(0, batch)
         assert 1 in inst.write_sent
+
+
+class TestEmptySyncRound:
+    """Satellite: a value selection with no STOPDATA reports must fail
+    loudly, not with max()'s bare ValueError."""
+
+    def test_send_sync_with_no_reports_raises_named_error(self, cluster):
+        import pytest
+
+        from repro.smart.synchronization import EmptySyncRound
+
+        synchronizer = cluster.replicas[1].synchronizer
+        with pytest.raises(EmptySyncRound, match="no STOPDATA reports"):
+            synchronizer._send_sync(1, {})
+
+    def test_empty_sync_round_is_a_runtime_error(self):
+        from repro.smart.synchronization import EmptySyncRound
+
+        assert issubclass(EmptySyncRound, RuntimeError)
+
+    def test_normal_path_unaffected(self, cluster):
+        """A singleton report set (the n-f threshold at n=4, f=1 is 3,
+        but the guard only rejects *empty*) still produces a SYNC."""
+        synchronizer = cluster.replicas[1].synchronizer
+        reports = {
+            1: StopData(
+                sender=1,
+                regency=1,
+                last_executed_cid=-1,
+                write_certificate=None,
+                pending=[request(0)],
+            )
+        }
+        synchronizer._send_sync(1, reports)
+        assert 1 in synchronizer._sync_sent

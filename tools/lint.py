@@ -20,6 +20,12 @@ Checks implemented by the fallback:
 - E722  bare ``except:``
 - F541  f-string without placeholders
 
+Findings can be silenced per line either with ``# noqa`` (ruff's
+syntax) or with the ``# repro: allow[DET001]``-style syntax shared with
+``python -m repro.analysis`` -- one suppression vocabulary across both
+checkers.  A ``repro: allow`` naming an unknown rule id is itself
+reported (SUP001), so suppressions cannot rot silently.
+
 Exit status: 0 clean, 1 findings, 2 internal error.
 """
 
@@ -34,6 +40,14 @@ from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 LINT_PATHS = ("src", "tests", "tools", "benchmarks", "examples")
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.suppress import (  # noqa: E402
+    UNKNOWN_SUPPRESSION,
+    is_suppressed,
+    parse_suppressions,
+)
 
 
 def run_ruff() -> int:
@@ -58,6 +72,10 @@ class _ModuleChecker(ast.NodeVisitor):
             for i, line in enumerate(source.splitlines(), start=1)
             if "# noqa" in line or "#noqa" in line
         }
+        #: the shared repro-analysis inline suppressions
+        self._suppressions, self._unknown_suppressions = parse_suppressions(
+            source
+        )
         self.findings: List[Tuple[int, str, str]] = []
         #: name -> (lineno, used?) for module-level imports
         self._imports: dict[str, Tuple[int, bool]] = {}
@@ -84,7 +102,16 @@ class _ModuleChecker(ast.NodeVisitor):
         self.findings = [
             finding for finding in self.findings
             if finding[0] not in self._noqa_lines
+            and not is_suppressed(self._suppressions, finding[0], finding[1])
         ]
+        for lineno, name in self._unknown_suppressions:
+            self.findings.append(
+                (
+                    lineno,
+                    UNKNOWN_SUPPRESSION,
+                    f"suppression names unknown rule {name!r}",
+                )
+            )
         self.findings.sort()
         return self.findings
 
