@@ -6,6 +6,10 @@ SEEDS ?= 100
 START_SEED ?= 0
 FAULTS_OUT ?= faults-report.json
 
+# recovery-profile exploration knobs (see docs/RECOVERY.md)
+RECOVERY_SEEDS ?= 25
+RECOVERY_OUT ?= faults-recovery.json
+
 # benchmark harness knobs (see docs/BENCHMARKS.md)
 BASELINE ?= benchmarks/baselines/BENCH_smoke.json
 CANDIDATE ?= BENCH_smoke.json
@@ -15,7 +19,7 @@ TOLERANCE ?= 0.05
 ANALYZE_OUT ?= analysis-report.json
 DETSAN_OUT ?= detsan-report.json
 
-.PHONY: test lint analyze detsan ci faults-smoke faults-explore bench-smoke bench-check bench-baseline bench-full
+.PHONY: test lint analyze detsan ci faults-smoke faults-explore faults-recovery bench-smoke bench-check bench-baseline bench-full
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
@@ -39,12 +43,19 @@ detsan:
 		--json $(DETSAN_OUT)
 
 ## everything CI's per-commit job runs, in order
-ci: lint analyze test faults-smoke bench-smoke bench-check
+ci: lint analyze test faults-smoke faults-recovery bench-smoke bench-check
 
 ## quick confidence check: 5 explorer seeds (runs in seconds)
 faults-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults --seeds 5 \
 		--out $(FAULTS_OUT)
+
+## crash-recovery exploration: amnesiac restarts + storage faults
+## against durable-WAL replicas (make faults-recovery RECOVERY_SEEDS=200)
+faults-recovery:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults \
+		--seeds $(RECOVERY_SEEDS) --profile recovery \
+		--out $(RECOVERY_OUT)
 
 ## opt-in deep exploration: make faults-explore SEEDS=500
 faults-explore:

@@ -43,8 +43,9 @@ from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope
 from repro.fabric.orderers import KafkaCluster, KafkaOrderer, SoloOrderer
 from repro.ordering import OrderingServiceConfig, build_ordering_service
-from repro.sim import ConstantLatency, Network, Simulator
+from repro.sim import ConstantLatency, Network, RandomStreams, Simulator
 from repro.sim.monitor import StatsRegistry
+from repro.sim.storage import StorageFaults
 
 
 # ----------------------------------------------------------------------
@@ -451,6 +452,96 @@ def _run_bft(envelopes: int, envelope_size: int, block_size: int):
 
 
 _BASELINE_RUNNERS = {"solo": _run_solo, "kafka": _run_kafka, "bft": _run_bft}
+
+
+# ----------------------------------------------------------------------
+# Recovery: crash-amnesia restart over the consensus WAL
+# ----------------------------------------------------------------------
+@REGISTRY.register(
+    name="recovery_time",
+    description="Crash-amnesia recovery: WAL replay time, rejoin "
+    "latency and state-transfer volume for a replica restarting from "
+    "its durable consensus log (see docs/RECOVERY.md).",
+    matrix={
+        "envelopes": (32, 96),
+        "payload_size": (1024,),
+        "block_size": (4,),
+        "torn_tail": (0, 1),
+    },
+    smoke_matrix={
+        "envelopes": (24,),
+        "payload_size": (1024,),
+        "block_size": (4,),
+        "torn_tail": (1,),
+    },
+    directions={
+        "replay_s": "lower",
+        "rejoin_s": "lower",
+        "recovery_total_s": "lower",
+        "state_transfer_bytes": "lower",
+        "replayed_batches": "higher",
+        "delivered": "higher",
+    },
+    tags=("recovery", "wal", "faults"),
+)
+def recovery_time(ctx: BenchContext) -> Dict[str, float]:
+    envelopes = ctx["envelopes"]
+    config = OrderingServiceConfig(
+        f=1,
+        channel=ChannelConfig(
+            "ch0", max_message_count=ctx["block_size"], batch_timeout=0.25
+        ),
+        num_frontends=1,
+        physical_cores=None,
+        enable_batch_timeout=True,
+        durable_wal=True,
+        seed=ctx.seed,
+    )
+    service = build_ordering_service(config, observability=ctx.obs)
+    spacing = 1.5 / envelopes
+    for i in range(envelopes):
+        envelope = Envelope(
+            channel_id="ch0",
+            transaction=None,
+            payload_size=ctx["payload_size"],
+            envelope_id=i,
+        )
+        service.sim.schedule_at(0.1 + i * spacing, service.submit, envelope, 0)
+
+    replica = service.replicas[1]
+    streams = RandomStreams(ctx.seed)
+
+    def crash() -> None:
+        replica.crash(amnesia=True)
+        replica.log.disk.crash(
+            StorageFaults(torn_tail=bool(ctx["torn_tail"])),
+            streams["bench-recovery-storage"],
+        )
+
+    service.sim.schedule_at(0.8, crash)
+    service.sim.schedule_at(1.2, replica.recover)
+    service.sim.run_until(
+        lambda: service.total_delivered() >= envelopes, 60.0
+    )
+    # keep running until the restarted replica finishes its rejoin (its
+    # state transfer may complete after the last client delivery)
+    service.sim.run_until(
+        lambda: (replica.recovery_stats or {}).get("rejoined_at") is not None,
+        service.sim.now + 30.0,
+    )
+    stats = replica.recovery_stats or {}
+    rejoined_at = stats.get("rejoined_at")
+    started = stats.get("started", 0.0)
+    replay_s = stats.get("replay_s", 0.0)
+    total_s = (rejoined_at - started) if rejoined_at is not None else -1.0
+    return {
+        "replay_s": replay_s,
+        "rejoin_s": (total_s - replay_s) if rejoined_at is not None else -1.0,
+        "recovery_total_s": total_s,
+        "state_transfer_bytes": float(stats.get("state_transfer_bytes", 0)),
+        "replayed_batches": float(stats.get("replayed_batches", 0)),
+        "delivered": float(service.total_delivered()),
+    }
 
 
 @REGISTRY.register(

@@ -49,6 +49,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.invariants import (
     BlockRecorder,
     Violation,
+    VoteRecorder,
+    check_durable_logs,
     check_frontend_agreement,
     check_history_prefixes,
     check_liveness,
@@ -84,6 +86,8 @@ __all__ = [
     "SkipQuorumChecks",
     "SuppressSync",
     "Violation",
+    "VoteRecorder",
+    "check_durable_logs",
     "check_frontend_agreement",
     "check_history_prefixes",
     "check_liveness",

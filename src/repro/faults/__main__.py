@@ -46,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulated time when all faults heal (default 3.0)")
     parser.add_argument("--deadline", type=float, default=60.0,
                         help="simulated-time liveness budget (default 60.0)")
+    parser.add_argument("--profile", choices=("default", "recovery"),
+                        default="default",
+                        help="schedule space: 'default' (historical kinds) or "
+                        "'recovery' (amnesiac crash_restart + storage faults "
+                        "against durable-WAL replicas; see docs/RECOVERY.md)")
     parser.add_argument("--shrink", action="store_true",
                         help="minimize failing schedules by event removal")
     parser.add_argument("--trace", action="store_true",
@@ -70,6 +75,7 @@ def config_from_args(args: argparse.Namespace) -> ExplorerConfig:
         max_events=args.max_events,
         heal_at=args.heal_at,
         deadline=args.deadline,
+        profile=args.profile,
     )
 
 
@@ -139,6 +145,7 @@ def main(argv=None) -> int:
                 "max_events": cfg.max_events,
                 "heal_at": cfg.heal_at,
                 "deadline": cfg.deadline,
+                "profile": cfg.profile,
             },
             "seeds": len(seeds),
             "violations": failures,

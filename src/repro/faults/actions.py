@@ -449,16 +449,41 @@ class BlockLink(FaultAction):
 
 @dataclass
 class CrashReplica(FaultAction):
-    """Crash a replica on start, recover it (with state transfer) on stop."""
+    """Crash a replica on start, recover it (with state transfer) on stop.
+
+    The default is crash-*suspend*: volatile state survives and
+    recovery simply resumes (historical behaviour, keeps explorer
+    seeds reproducible).  With ``amnesia=True`` the crash discards all
+    volatile state and recovery runs the full restart protocol from the
+    replica's WAL (docs/RECOVERY.md); ``torn_tail`` and ``bitrot``
+    additionally damage the simulated disk at crash time
+    (:class:`~repro.sim.storage.StorageFaults`).
+    """
 
     replica_id: Any
+    amnesia: bool = False
+    torn_tail: bool = False
+    bitrot: bool = False
 
     def start(self, ctx) -> None:
         replica = ctx.replica(self.replica_id)
         if replica is not None:
-            replica.crash()
+            replica.crash(amnesia=self.amnesia)
+            if self.amnesia:
+                self._damage_disk(ctx, replica)
         else:
             ctx.network.crash(self.replica_id)
+
+    def _damage_disk(self, ctx, replica) -> None:
+        from repro.sim.storage import StorageFaults
+
+        disk = getattr(replica.log, "disk", None)
+        if disk is None:
+            return
+        disk.crash(
+            StorageFaults(torn_tail=self.torn_tail, bitrot=self.bitrot),
+            ctx.rng(f"storage-{self.replica_id}"),
+        )
 
     def stop(self, ctx) -> None:
         replica = ctx.replica(self.replica_id)
@@ -469,7 +494,15 @@ class CrashReplica(FaultAction):
             ctx.network.recover(self.replica_id)
 
     def describe(self) -> str:
-        return f"crash replica={self.replica_id}"
+        if not self.amnesia:
+            return f"crash replica={self.replica_id}"
+        flags = "".join(
+            [
+                " torn-tail" if self.torn_tail else "",
+                " bitrot" if self.bitrot else "",
+            ]
+        )
+        return f"crash-restart replica={self.replica_id} amnesia{flags}"
 
 
 class _ControlFault(FaultAction):

@@ -37,6 +37,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.invariants import (
     BlockRecorder,
     Violation,
+    VoteRecorder,
     check_ordering_service,
     replica_log_digests,
 )
@@ -68,6 +69,11 @@ class ExplorerConfig:
     deadline: float = 60.0
     min_events: int = 1
     max_events: int = 4
+    #: "default" keeps the historical schedule space (byte-identical
+    #: seeds); "recovery" samples amnesiac crash_restart + storage
+    #: faults against a durable-WAL deployment and additionally checks
+    #: the no-equivocation-by-amnesia invariant (docs/RECOVERY.md)
+    profile: str = "default"
 
     @property
     def n(self) -> int:
@@ -110,9 +116,27 @@ KINDS = (
 )
 
 
+#: Fault kinds of the recovery profile.  Byzantine kinds are excluded
+#: on purpose: the vote-equivocation check must only ever fire on a
+#: *protocol* failure (an amnesiac replica contradicting its pre-crash
+#: votes), never on deliberately injected equivocation.  Bit-rot is
+#: exercised by unit tests instead -- corrupting already-synced data is
+#: outside the crash fault model the explorer samples.
+RECOVERY_KINDS = (
+    "drop",
+    "delay",
+    "duplicate",
+    "reorder",
+    "crash_restart",
+    "partition",
+)
+
+
 def sample_schedule(seed: int, cfg: Optional[ExplorerConfig] = None) -> List[FaultEvent]:
     """Derive a fault schedule deterministically from ``seed``."""
     cfg = cfg or ExplorerConfig()
+    if cfg.profile == "recovery":
+        return _sample_recovery_schedule(seed, cfg)
     rng = RandomStreams(seed).stream("fault-schedule")
     n = cfg.n
     count = rng.randint(cfg.min_events, cfg.max_events)
@@ -170,12 +194,73 @@ def sample_schedule(seed: int, cfg: Optional[ExplorerConfig] = None) -> List[Fau
     return events
 
 
+def _sample_recovery_schedule(seed: int, cfg: ExplorerConfig) -> List[FaultEvent]:
+    """Schedules around amnesiac restarts (a separate stream, so the
+    default profile's seeds stay byte-identical).
+
+    Every schedule contains at least one ``crash_restart``; half of
+    them (per the stream) leave a torn tail on the victim's disk, the
+    rest exercise the plain lost-unsynced-suffix crash.
+    """
+    rng = RandomStreams(seed).stream("fault-schedule/recovery")
+    n = cfg.n
+    count = rng.randint(cfg.min_events, cfg.max_events)
+    crash_used = split_used = False
+    events: List[FaultEvent] = []
+    for index in range(count):
+        kind = "crash_restart" if index == 0 else rng.choice(RECOVERY_KINDS)
+        at = round(rng.uniform(*cfg.fault_window), 3)
+        duration = round(rng.uniform(0.4, 1.5), 3)
+        if kind == "crash_restart" and crash_used:
+            kind = "delay"
+        if kind == "partition" and split_used:
+            kind = "delay"
+
+        if kind == "drop":
+            src, dst = rng.sample(range(n), 2)
+            rate = round(rng.uniform(0.3, 0.9), 2)
+            action = Drop(Match(src=src, dst=dst), rate=rate, stream=f"drop-{index}")
+        elif kind == "delay":
+            src, dst = rng.sample(range(n), 2)
+            delay = round(rng.uniform(0.02, 0.15), 3)
+            action = Delay(Match(src=src, dst=dst), delay=delay)
+        elif kind == "duplicate":
+            src, dst = rng.sample(range(n), 2)
+            copies = rng.randint(2, 3)
+            action = Duplicate(Match(src=src, dst=dst), copies=copies, spacing=0.004)
+        elif kind == "reorder":
+            src, dst = rng.sample(range(n), 2)
+            delay = round(rng.uniform(0.01, 0.06), 3)
+            rate = round(rng.uniform(0.4, 1.0), 2)
+            action = Reorder(
+                Match(src=src, dst=dst), delay=delay, rate=rate,
+                stream=f"reorder-{index}",
+            )
+        elif kind == "crash_restart":
+            crash_used = True
+            action = CrashReplica(
+                rng.randrange(n),
+                amnesia=True,
+                torn_tail=rng.random() < 0.5,
+            )
+        else:  # partition
+            split_used = True
+            size = rng.randint(1, n // 2)
+            isolated = sorted(rng.sample(range(n), size))
+            rest = [p for p in range(n) if p not in isolated]
+            action = Partition(isolated, rest)
+        events.append(FaultEvent(at=at, action=action, duration=duration))
+    events.sort(key=lambda e: e.at)
+    return events
+
+
 def run_schedule(
     seed: int, events: List[FaultEvent], cfg: Optional[ExplorerConfig] = None
 ) -> RunResult:
     """Run one fault schedule against a fresh deployment and check the
     invariants."""
     cfg = cfg or ExplorerConfig()
+    durable = cfg.profile == "recovery"
     service = build_ordering_service(
         OrderingServiceConfig(
             f=cfg.f,
@@ -188,10 +273,12 @@ def run_schedule(
             physical_cores=None,
             request_timeout=cfg.request_timeout,
             enable_batch_timeout=True,
+            durable_wal=durable,
             seed=seed,
         )
     )
     recorder = BlockRecorder(service.network)
+    vote_recorder = VoteRecorder(service.network) if durable else None
     injector = FaultInjector(service.network, service.replicas, seed=seed)
     Scenario(events, heal_at=cfg.heal_at).install(injector)
 
@@ -221,7 +308,7 @@ def run_schedule(
     if service.sim.now < cfg.heal_at:
         service.sim.run(until=cfg.heal_at + 0.001)
 
-    violations = check_ordering_service(service, recorder)
+    violations = check_ordering_service(service, recorder, vote_recorder=vote_recorder)
     frontend_digests = {
         frontend.name: frontend.ledger_digest().hex()
         for frontend in service.frontends

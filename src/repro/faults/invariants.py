@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.fabric.api import BlockDelivery
 from repro.smart.consensus import batch_hash
+from repro.smart.messages import Accept, Write
 
 
 @dataclass(frozen=True)
@@ -159,6 +160,77 @@ class BlockRecorder:
         return violations
 
 
+class VoteRecorder:
+    """Network tap recording every WRITE/ACCEPT vote any replica sends.
+
+    Backs the *no equivocation by amnesia* invariant: a replica that
+    crashes, loses its volatile state and restarts from its WAL must
+    never send a WRITE/ACCEPT for a (cid, regency) slot with a
+    different value hash than its pre-crash incarnation did.  Only
+    network-visible votes matter -- a vote that never left the replica
+    cannot mislead anyone.
+    """
+
+    def __init__(self, network=None):
+        self.votes: List[tuple] = []  # (sender, phase, cid, regency, hash)
+        if network is not None:
+            network.add_filter(self)
+
+    def __call__(self, src, dst, payload):
+        if isinstance(payload, Write):
+            self.votes.append(
+                (payload.sender, "write", payload.cid, payload.regency, payload.value_hash)
+            )
+        elif isinstance(payload, Accept):
+            self.votes.append(
+                (payload.sender, "accept", payload.cid, payload.regency, payload.value_hash)
+            )
+        return payload
+
+    def check(self, exclude: Sequence = ()) -> List[Violation]:
+        violations: List[Violation] = []
+        excluded = set(exclude)
+        seen: Dict[tuple, bytes] = {}
+        reported: set = set()
+        for sender, phase, cid, regency, value_hash in self.votes:
+            if sender in excluded:
+                continue
+            key = (sender, phase, cid, regency)
+            first = seen.setdefault(key, value_hash)
+            if first != value_hash and key not in reported:
+                reported.add(key)
+                violations.append(
+                    Violation(
+                        "vote-equivocation",
+                        f"replica {sender} sent two different {phase.upper()} "
+                        f"values for cid={cid} regency={regency}",
+                    )
+                )
+        return violations
+
+
+def check_durable_logs(replicas: Sequence) -> List[Violation]:
+    """Every replica's durable log verifies (CRC-framed, no internal
+    conflicts) -- the durable-log-under-torn-write invariant.
+
+    Replicas with plain in-memory logs (no ``verify`` hook) are
+    skipped.
+    """
+    violations: List[Violation] = []
+    for replica in replicas:
+        verify = getattr(replica.log, "verify", None)
+        if verify is None:
+            continue
+        for problem in verify():
+            violations.append(
+                Violation(
+                    "durable-log",
+                    f"replica {replica.replica_id}: {problem}",
+                )
+            )
+    return violations
+
+
 def check_frontend_agreement(frontends: Sequence) -> List[Violation]:
     """All frontends deliver the same per-channel digest chain.
 
@@ -208,6 +280,7 @@ def check_ordering_service(
     service,
     recorder: Optional[BlockRecorder] = None,
     expect_live: bool = True,
+    vote_recorder: Optional[VoteRecorder] = None,
 ) -> List[Violation]:
     """Run every applicable invariant against an
     :class:`~repro.ordering.service.OrderingService` deployment."""
@@ -220,8 +293,11 @@ def check_ordering_service(
             for replica in service.replicas
         }
     )
+    violations += check_durable_logs(service.replicas)
     if recorder is not None:
         violations += recorder.check()
+    if vote_recorder is not None:
+        violations += vote_recorder.check()
     violations += check_frontend_agreement(service.frontends)
     if expect_live:
         violations += check_liveness(

@@ -109,6 +109,8 @@ class Observability:
         self._seen_write_quorum: set[Tuple[int, int]] = set()
         self._seen_decided: set[Tuple[int, int]] = set()
         self._sync_spans: Dict[Tuple[int, int], Span] = {}
+        # recovery spans: replica_id -> (root "recovery" span, open child)
+        self._recovery_spans: Dict[int, Tuple[Span, Optional[Span]]] = {}
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         self.tracer.bind_clock(clock)
@@ -302,6 +304,77 @@ class Observability:
             span = self._sync_spans.pop(key)
             if span.open:
                 self.tracer.end(span, at=now)
+
+    # ------------------------------------------------------------------
+    # recovery hooks (amnesiac restart, docs/RECOVERY.md)
+    # ------------------------------------------------------------------
+    def on_recovery_started(self, replica_id: int, now: float) -> None:
+        self.registry.counter(f"smart.replica.{replica_id}.restarts").increment()
+        root = self.tracer.begin(
+            "recovery",
+            track=f"replica.{replica_id}",
+            category="recovery",
+            root=True,
+            at=now,
+        )
+        replay = self.tracer.begin(
+            "replay",
+            track=f"replica.{replica_id}",
+            category="recovery",
+            parent=root,
+            at=now,
+        )
+        self._recovery_spans[replica_id] = (root, replay)
+
+    def on_recovery_replayed(
+        self,
+        replica_id: int,
+        batches: int,
+        replay_s: float,
+        truncated_bytes: int,
+        corrupt: bool,
+        now: float,
+    ) -> None:
+        prefix = f"smart.replica.{replica_id}.recovery"
+        self.registry.histogram(f"{prefix}.replay_time").observe(replay_s)
+        self.registry.counter(f"{prefix}.replayed_batches").increment(batches)
+        if truncated_bytes:
+            self.registry.counter(f"{prefix}.truncated_bytes").increment(
+                truncated_bytes
+            )
+        if corrupt:
+            self.registry.counter(f"{prefix}.corruptions").increment()
+        entry = self._recovery_spans.get(replica_id)
+        if entry is not None:
+            root, child = entry
+            if child is not None and child.open:
+                self.tracer.end(child, at=now)
+            rejoin = self.tracer.begin(
+                "rejoin",
+                track=f"replica.{replica_id}",
+                category="recovery",
+                parent=root,
+                at=now,
+            )
+            self._recovery_spans[replica_id] = (root, rejoin)
+
+    def on_recovery_completed(
+        self, replica_id: int, bytes_received: int, now: float
+    ) -> None:
+        prefix = f"smart.replica.{replica_id}.recovery"
+        self.registry.counter(f"{prefix}.state_transfer_bytes").increment(
+            bytes_received
+        )
+        entry = self._recovery_spans.pop(replica_id, None)
+        if entry is not None:
+            root, child = entry
+            if child is not None and child.open:
+                self.tracer.end(child, at=now)
+            if root.open:
+                self.registry.histogram(f"{prefix}.rejoin_time").observe(
+                    now - root.start
+                )
+                self.tracer.end(root, at=now)
 
     # ------------------------------------------------------------------
     # ordering-node hooks (blocks)

@@ -203,6 +203,17 @@ class BFTOrderingNode(StateMachine):
     def rollback(self, token: Any) -> None:
         self.set_state(token)
 
+    def reset(self) -> None:
+        """Forget all channel state (amnesiac restart zero point).
+
+        ``set_state(None)`` is a no-op by contract, so rebuild every
+        channel from its static config instead.
+        """
+        self._channels = {
+            channel_id: _ChannelState(cutter=BlockCutter(config))
+            for channel_id, config in self._channel_configs.items()
+        }
+
     # ------------------------------------------------------------------
     # block creation, signing, dissemination
     # ------------------------------------------------------------------

@@ -18,15 +18,18 @@ from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope
 from repro.ordering.frontend import Frontend
 from repro.ordering.node import BFTOrderingNode, TimeToCut
+from repro.ordering.wal_codec import decode_value, encode_value
 from repro.sim.core import Simulator
 from repro.sim.cpu import CPU
 from repro.sim.monitor import StatsRegistry
 from repro.sim.network import ConstantLatency, LatencyModel, Network
 from repro.sim.randomness import RandomStreams
+from repro.sim.storage import DEFAULT_FSYNC_LATENCY, SECTOR_SIZE, SimDisk
 from repro.smart.messages import ClientRequest
 from repro.smart.proxy import ServiceProxy
 from repro.smart.replica import ReplicaConfig, ServiceReplica, default_replier
 from repro.smart.view import View, bft_group_size, binary_weights
+from repro.smart.wal import ConsensusWAL
 
 #: network-id base for frontends (BFT-SMaRt client ids)
 FRONTEND_ID_BASE = 1000
@@ -70,11 +73,30 @@ class OrderingServiceConfig:
     enable_batch_timeout: bool = False
     verify_block_signatures: bool = False
     double_sign: bool = False
+    #: give every replica a consensus WAL on simulated stable storage,
+    #: enabling crash-recovery with amnesia (see docs/RECOVERY.md)
+    durable_wal: bool = False
+    fsync_latency: float = DEFAULT_FSYNC_LATENCY
+    sector_size: int = SECTOR_SIZE
     seed: int = 0
 
     @property
     def n(self) -> int:
         return bft_group_size(self.f, self.delta)
+
+
+def make_ordering_wal(config: OrderingServiceConfig) -> ConsensusWAL:
+    """A per-replica consensus WAL wired to the ordering-layer codec."""
+    disk = SimDisk(
+        fsync_latency=config.fsync_latency, sector_size=config.sector_size
+    )
+    return ConsensusWAL(
+        disk,
+        encode_op=encode_value,
+        decode_op=decode_value,
+        encode_state=encode_value,
+        decode_state=decode_value,
+    )
 
 
 def ordering_replier(replica, request: ClientRequest, result, regency, tentative):
@@ -126,8 +148,8 @@ class OrderingService:
         self.network.register(ADMIN_ID_BASE + admin_index, proxy, site=admin_site)
         return proxy
 
-    def crash_node(self, index: int) -> None:
-        self.replicas[index].crash()
+    def crash_node(self, index: int, amnesia: bool = False) -> None:
+        self.replicas[index].crash(amnesia=amnesia)
 
     def recover_node(self, index: int) -> None:
         self.replicas[index].recover()
@@ -216,6 +238,7 @@ class OrderingService:
             view=current_view,
             app=node,
             config=self.replicas[0].config,
+            log=make_ordering_wal(self.config) if self.config.durable_wal else None,
             replier=ordering_replier,
         )
         self.network.register(index, replica, site=site)
@@ -331,6 +354,7 @@ def build_ordering_service(
             view=view,
             app=node,
             config=replica_config,
+            log=make_ordering_wal(config) if config.durable_wal else None,
             replier=ordering_replier,
         )
         network.register(i, replica, site=node_sites[i])

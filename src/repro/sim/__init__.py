@@ -28,6 +28,14 @@ from repro.sim.network import (
     Network,
 )
 from repro.sim.randomness import RandomStreams
+from repro.sim.storage import (
+    LogCorruption,
+    ScanResult,
+    SimDisk,
+    StorageFaults,
+    frame_record,
+    scan_records,
+)
 from repro.sim.trace import MessageTracer, TraceEvent
 
 __all__ = [
@@ -39,15 +47,21 @@ __all__ = [
     "Intercept",
     "LatencyModel",
     "LatencyRecorder",
+    "LogCorruption",
     "MatrixLatency",
     "MessageTracer",
     "NIC",
     "Network",
     "Process",
     "RandomStreams",
+    "ScanResult",
+    "SimDisk",
     "Simulator",
     "StatsRegistry",
+    "StorageFaults",
     "ThreadPool",
     "ThroughputMeter",
     "TraceEvent",
+    "frame_record",
+    "scan_records",
 ]

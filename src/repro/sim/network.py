@@ -129,6 +129,9 @@ class _Node:
     site: str
     nic: NIC
     crashed: bool = False
+    #: bumped on every recovery so in-flight messages addressed to the
+    #: pre-crash incarnation can be recognized and discarded
+    epoch: int = 0
 
 
 @dataclass
@@ -234,7 +237,16 @@ class Network:
         self._nodes[node_id].crashed = True
 
     def recover(self, node_id: NodeId) -> None:
-        self._nodes[node_id].crashed = False
+        """Un-silence a node as a *new incarnation*.
+
+        Messages that were already in flight to the node when it
+        crashed are dropped on arrival rather than delivered stale: a
+        restarted (possibly amnesiac) process must not mistake
+        pre-crash traffic for fresh messages.
+        """
+        node = self._nodes[node_id]
+        node.crashed = False
+        node.epoch += 1
 
     def is_crashed(self, node_id: NodeId) -> bool:
         node = self._nodes.get(node_id)
@@ -355,9 +367,12 @@ class Network:
             # messages on the same link
             arrival = max(arrival, self._last_arrival.get(link, 0.0))
             self._last_arrival[link] = arrival
-        self.sim.schedule_at(arrival, self._deliver, src, dst, payload)
+        epoch = dst_node.epoch
+        self.sim.schedule_at(arrival, self._deliver, src, dst, payload, epoch)
         for i in range(1, copies):
-            self.sim.schedule_at(arrival + i * copy_spacing, self._deliver, src, dst, payload)
+            self.sim.schedule_at(
+                arrival + i * copy_spacing, self._deliver, src, dst, payload, epoch
+            )
 
     def broadcast(
         self, src: NodeId, dsts: Iterable[NodeId], payload: Any, size_bytes: int = 0
@@ -371,9 +386,15 @@ class Network:
         for dst in dsts:
             self.send(src, dst, payload, size_bytes)
 
-    def _deliver(self, src: NodeId, dst: NodeId, payload: Any) -> None:
+    def _deliver(
+        self, src: NodeId, dst: NodeId, payload: Any, epoch: Optional[int] = None
+    ) -> None:
         node = self._nodes.get(dst)
         if node is None or node.crashed:
+            self.stats.messages_dropped += 1
+            return
+        if epoch is not None and epoch != node.epoch:
+            # addressed to a previous incarnation that crashed meanwhile
             self.stats.messages_dropped += 1
             return
         self.stats.messages_delivered += 1

@@ -12,6 +12,8 @@ geo-replication optimizations [23]:
 - :mod:`repro.smart.reconfiguration` -- ordered membership changes;
 - :mod:`repro.smart.proxy` -- the client-side invocation proxy;
 - :mod:`repro.smart.durability` -- operation logs and checkpoints;
+- :mod:`repro.smart.wal` -- the consensus write-ahead log backing
+  crash-recovery with amnesia (see docs/RECOVERY.md);
 - :mod:`repro.smart.wheat` -- weight assignment and WHEAT configs.
 """
 
@@ -38,6 +40,7 @@ from repro.smart.replica import (
     default_replier,
 )
 from repro.smart.view import View, binary_weights, classic_quorum, max_faults
+from repro.smart.wal import ConsensusWAL, WalRecovery
 from repro.smart.wheat import WheatConfig, optimal_vmax_assignment, wheat_view
 
 __all__ = [
@@ -45,6 +48,7 @@ __all__ = [
     "Checkpoint",
     "ClientRequest",
     "ConsensusInstance",
+    "ConsensusWAL",
     "DEFAULT_MAX_BATCH",
     "FileBackedLog",
     "OperationLog",
@@ -62,6 +66,7 @@ __all__ = [
     "Sync",
     "View",
     "VoteSet",
+    "WalRecovery",
     "WheatConfig",
     "Write",
     "apply_reconfig",

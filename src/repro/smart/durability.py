@@ -14,12 +14,12 @@ cheap and the operation log stays short.  This module provides:
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.crypto.hashing import sha256
+from repro.sim.storage import LogCorruption, frame_record, scan_records
 from repro.smart.messages import ClientRequest
 
 
@@ -72,6 +72,27 @@ class OperationLog:
             return self.checkpoint.cid
         return -1
 
+    def clear(self) -> None:
+        """Drop all in-memory state (an amnesiac restart's first step)."""
+        self._entries = []
+        self.checkpoint = None
+
+    # Durability hooks.  The in-memory log has no stable storage, so
+    # consensus evidence costs nothing and recovery salvages nothing;
+    # ConsensusWAL overrides these with real persistence.
+
+    def log_write(self, cid: int, regency: int, value_hash: bytes) -> float:
+        return 0.0
+
+    def log_accept(self, cid: int, regency: int, value_hash: bytes) -> float:
+        return 0.0
+
+    def log_regency(self, regency: int) -> float:
+        return 0.0
+
+    def recover(self):
+        return None
+
 
 def state_digest(state: Any) -> bytes:
     """Canonical hash of an application-state snapshot."""
@@ -92,10 +113,18 @@ def _jsonable(value: Any) -> Any:
 class FileBackedLog(OperationLog):
     """An :class:`OperationLog` that survives process restarts.
 
-    Records are JSON lines: ``{"cid": ..., "ops": [...]}`` for batch
-    entries and ``{"checkpoint": cid, "state": ...}`` for checkpoints.
-    Operations must be JSON-serializable (or convertible through the
+    Records are CRC-framed JSON lines (shared framing with the
+    consensus WAL, see :func:`repro.sim.storage.frame_record`):
+    ``{"cid": ..., "reqs": [...]}`` for batch entries and
+    ``{"checkpoint": cid, "state": ...}`` for checkpoints.  Operations
+    must be JSON-serializable (or convertible through the
     ``encode_op``/``decode_op`` hooks).
+
+    Recovery tolerates a *torn tail* -- a partial or CRC-mismatched
+    final record from a crash mid-write -- by truncating the file at
+    the first bad byte.  Damage in the middle of the file (a bad record
+    followed by valid ones) cannot come from a torn write and raises
+    :class:`~repro.sim.storage.LogCorruption` instead.
     """
 
     def __init__(
@@ -138,36 +167,47 @@ class FileBackedLog(OperationLog):
         )
 
     def _write(self, record: dict) -> None:
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record) + "\n")
+        with open(self.path, "ab") as fh:
+            fh.write(frame_record(record))
             fh.flush()
             os.fsync(fh.fileno())
 
     def _recover(self) -> None:
-        """Rebuild in-memory state from the on-disk record stream."""
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                record = json.loads(line)
-                if "checkpoint" in record:
-                    OperationLog.set_checkpoint(
-                        self,
-                        Checkpoint(
-                            cid=record["checkpoint"],
-                            state=record["state"],
-                            state_hash=bytes.fromhex(record["hash"]),
-                        ),
+        """Rebuild in-memory state from the on-disk record stream.
+
+        A torn tail is truncated in place; mid-file corruption raises
+        :class:`LogCorruption` so the operator (or recovery protocol)
+        can fall back to state transfer instead of trusting the log.
+        """
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        scan = scan_records(data)
+        if scan.error == "corrupt":
+            raise LogCorruption(
+                f"{self.path}: bad record followed by valid ones "
+                f"(first bad byte at offset {scan.valid_bytes})"
+            )
+        if scan.error == "torn":
+            with open(self.path, "r+b") as fh:
+                fh.truncate(scan.valid_bytes)
+        for record in scan.records:
+            if "checkpoint" in record:
+                OperationLog.set_checkpoint(
+                    self,
+                    Checkpoint(
+                        cid=record["checkpoint"],
+                        state=record["state"],
+                        state_hash=bytes.fromhex(record["hash"]),
+                    ),
+                )
+            else:
+                batch = [
+                    ClientRequest(
+                        client_id=r["client"],
+                        sequence=r["seq"],
+                        operation=self._decode_op(r["op"]),
+                        size_bytes=r["size"],
                     )
-                else:
-                    batch = [
-                        ClientRequest(
-                            client_id=r["client"],
-                            sequence=r["seq"],
-                            operation=self._decode_op(r["op"]),
-                            size_bytes=r["size"],
-                        )
-                        for r in record["reqs"]
-                    ]
-                    OperationLog.append(self, record["cid"], batch)
+                    for r in record["reqs"]
+                ]
+                OperationLog.append(self, record["cid"], batch)

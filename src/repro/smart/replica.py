@@ -82,6 +82,14 @@ class StateMachine:
         """Undo a tentative execution using its token."""
         self.set_state(token)
 
+    def reset(self) -> None:
+        """Return to the initial state (an amnesiac restart's zero point).
+
+        Applications whose ``set_state`` treats ``None`` as "empty"
+        inherit this; others must override.
+        """
+        self.set_state(None)
+
 
 #: Replier signature: (replica, request, result, regency, tentative).
 Replier = Callable[["ServiceReplica", ClientRequest, Any, int, bool], None]
@@ -171,6 +179,7 @@ class ReplicaCounters:
     checkpoints: int = 0
     duplicate_requests: int = 0
     value_fetches: int = 0
+    restarts: int = 0
 
 
 class ServiceReplica:
@@ -211,6 +220,13 @@ class ServiceReplica:
         self.instances: Dict[int, ConsensusInstance] = {}
         self.pending = PendingQueue(self.config.max_batch, self.config.max_batch_bytes)
         self.crashed = False
+        #: the next recover() must run the full restart protocol
+        self._amnesia_pending = False
+        #: after mid-log WAL corruption the replica abstains from voting
+        #: in any regency <= this horizon (see docs/RECOVERY.md)
+        self._quarantine_regency: Optional[int] = None
+        #: populated by restart(); finished by state transfer's rejoin
+        self.recovery_stats: Optional[Dict[str, Any]] = None
 
         # reply cache (client -> (seq, result, regency)) plus the ids of
         # every executed request; dedup is by exact id because async
@@ -263,11 +279,152 @@ class ServiceReplica:
     # ------------------------------------------------------------------
     # crash/recovery control (fault injection)
     # ------------------------------------------------------------------
-    def crash(self) -> None:
+    def crash(self, amnesia: bool = False) -> None:
+        """Silence the replica.
+
+        With ``amnesia=False`` (the default, crash-*suspend*) all
+        volatile state survives and :meth:`recover` simply resumes.
+        With ``amnesia=True`` (a real process crash) volatile state is
+        considered lost: the next :meth:`recover` runs the full
+        :meth:`restart` protocol from whatever the WAL preserved.
+        """
         self.crashed = True
+        if amnesia:
+            self._amnesia_pending = True
         self.network.crash(self.replica_id)
 
     def recover(self) -> None:
+        if self._amnesia_pending:
+            self.restart()
+            return
+        self.crashed = False
+        self.network.recover(self.replica_id)
+        self._schedule_timeout_check()
+        self.state_transfer.start()
+
+    def restart(self) -> None:
+        """Amnesiac restart: rebuild from stable storage and rejoin.
+
+        Recovery protocol (docs/RECOVERY.md):
+
+        1. discard every piece of volatile state;
+        2. salvage the WAL -- a torn tail is truncated, mid-log
+           corruption flags the log untrusted (full state transfer +
+           vote quarantine);
+        3. reinstall the latest durable checkpoint and replay the
+           decided batches that follow it;
+        4. re-derive the regency horizon and per-instance WRITE/ACCEPT
+           votes from logged evidence, so the restarted replica can
+           never contradict a vote its pre-crash incarnation sent;
+        5. after the modeled log-read delay, come back online and rejoin
+           via state transfer for the suffix the WAL never saw.
+        """
+        self._amnesia_pending = False
+        self.counters.restarts += 1
+        started = self.sim.now
+        if self.obs is not None:
+            self.obs.on_recovery_started(self.replica_id, started)
+        self._reset_volatile()
+        recovery = self.log.recover()
+        replayed = 0
+        truncated_bytes = 0
+        corrupt = False
+        if recovery is not None:
+            truncated_bytes = recovery.truncated_bytes
+            corrupt = recovery.corrupt
+            if recovery.checkpoint is not None:
+                self.app.set_state(recovery.checkpoint.state)
+                self.last_executed = recovery.checkpoint.cid
+            if not corrupt:
+                # replay the decided suffix the WAL preserved
+                for cid, batch in recovery.entries:
+                    if cid <= self.last_executed:
+                        continue
+                    if cid != self.last_executed + 1:
+                        break  # gap: state transfer fills the rest
+                    inst = self.instance(cid)
+                    inst.learn_value(batch)
+                    self._execute_batch(inst, batch, self.regency, tentative=False)
+                    self.last_executed = cid
+                    replayed += 1
+            regency = recovery.regency
+            for evidence in (recovery.write_evidence, recovery.accept_evidence):
+                for cid in sorted(evidence):
+                    votes = evidence[cid]
+                    for reg in sorted(votes):
+                        regency = max(regency, reg)
+                        if cid <= self.last_executed:
+                            continue
+                        inst = self.instance(cid)
+                        sent = (
+                            inst.write_sent
+                            if evidence is recovery.write_evidence
+                            else inst.accept_sent
+                        )
+                        sent[reg] = votes[reg]
+            self.regency = regency
+            if corrupt:
+                # the durable image lied once: abstain from voting until
+                # a regency change moves past everything it may cover
+                self._quarantine_regency = regency
+        self.instances = {
+            cid: inst for cid, inst in self.instances.items() if cid > self.last_executed
+        }
+        self.recovery_stats = {
+            "started": started,
+            "replay_s": 0.0,
+            "replayed_batches": replayed,
+            "truncated_bytes": truncated_bytes,
+            "corrupt": corrupt,
+            "rejoined_at": None,
+            "state_transfer_bytes": 0,
+        }
+        disk = getattr(self.log, "disk", None)
+        replay_delay = disk.read_latency() if disk is not None else 0.0
+        self.sim.schedule(replay_delay, self._complete_restart)
+
+    def _reset_volatile(self) -> None:
+        """Discard everything an amnesiac crash would lose."""
+        from repro.smart.statetransfer import StateTransfer
+        from repro.smart.synchronization import Synchronizer
+
+        self.regency = 0
+        self.last_executed = -1
+        self.active_cid = None
+        self.instances = {}
+        self.pending = PendingQueue(self.config.max_batch, self.config.max_batch_bytes)
+        self._last_reply = {}
+        self._executed_ids = set()
+        self._tentative_stack = []
+        self._forwarded = False
+        self._quarantine_regency = None
+        self.recovery_stats = None
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        if self._timeout_timer is not None:
+            self._timeout_timer.cancel()
+            self._timeout_timer = None
+        self.synchronizer = Synchronizer(self)
+        self.state_transfer = StateTransfer(self)
+        self.log.clear()
+        self.app.reset()
+
+    def _complete_restart(self) -> None:
+        """Replay finished: come back online and rejoin the group."""
+        if self.recovery_stats is not None:
+            self.recovery_stats["replay_s"] = self.sim.now - self.recovery_stats["started"]
+            if self.obs is not None:
+                self.obs.on_recovery_replayed(
+                    self.replica_id,
+                    batches=self.recovery_stats["replayed_batches"],
+                    replay_s=self.recovery_stats["replay_s"],
+                    truncated_bytes=self.recovery_stats["truncated_bytes"],
+                    corrupt=self.recovery_stats["corrupt"],
+                    now=self.sim.now,
+                )
+        if self.replica_id not in self.view.processes:
+            return  # removed from the group while down: stay passive
         self.crashed = False
         self.network.recover(self.replica_id)
         self._schedule_timeout_check()
@@ -404,20 +561,35 @@ class ServiceReplica:
             seen.add(rid)
         return True
 
+    def _vote_quarantined(self) -> bool:
+        """True while a corrupt-WAL recovery forbids voting.
+
+        After mid-log corruption the replica cannot trust its vote
+        evidence, so it abstains in every regency the damaged log may
+        cover; the first regency past the horizon lifts the quarantine.
+        """
+        if self._quarantine_regency is None:
+            return False
+        if self.regency > self._quarantine_regency:
+            self._quarantine_regency = None
+            return False
+        return True
+
     def _cast_write(self, inst: ConsensusInstance, value_hash: bytes) -> None:
         if self.regency in inst.write_sent:
             return
+        if self._vote_quarantined():
+            return
         inst.write_sent[self.regency] = value_hash
-        if self.config.disk_sync_delay > 0:
-            # durable SMR: the proposed batch is logged to stable
-            # storage before the replica votes for it (paper §5.2, [3])
-            self.sim.schedule(
-                self.config.disk_sync_delay,
-                self._send_write,
-                inst,
-                self.regency,
-                value_hash,
-            )
+        # durable SMR: the vote is logged to stable storage before it is
+        # sent (paper §5.2, [3]), so an amnesiac restart can never
+        # contradict it; the fsync cost defers the actual send
+        delay = max(
+            self.config.disk_sync_delay,
+            self.log.log_write(inst.cid, self.regency, value_hash),
+        )
+        if delay > 0:
+            self.sim.schedule(delay, self._send_write, inst, self.regency, value_hash)
         else:
             self._send_write(inst, self.regency, value_hash)
 
@@ -456,10 +628,24 @@ class ServiceReplica:
     def _cast_accept(self, inst: ConsensusInstance, value_hash: bytes) -> None:
         if self.regency in inst.accept_sent:
             return
+        if self._vote_quarantined():
+            return
         inst.accept_sent[self.regency] = value_hash
-        accept = Accept(self.replica_id, inst.cid, self.regency, value_hash)
+        # fsync-before-send, same as the WRITE vote
+        delay = self.log.log_accept(inst.cid, self.regency, value_hash)
+        if delay > 0:
+            self.sim.schedule(delay, self._send_accept, inst, self.regency, value_hash)
+        else:
+            self._send_accept(inst, self.regency, value_hash)
+
+    def _send_accept(
+        self, inst: ConsensusInstance, regency: int, value_hash: bytes
+    ) -> None:
+        if self.crashed or regency != self.regency:
+            return
+        accept = Accept(self.replica_id, inst.cid, regency, value_hash)
         self._broadcast(accept, accept.wire_size())
-        self._record_accept(self.replica_id, inst, self.regency, value_hash)
+        self._record_accept(self.replica_id, inst, regency, value_hash)
 
     def _on_accept(self, src: int, msg: Accept) -> None:
         if msg.cid <= self.last_executed:

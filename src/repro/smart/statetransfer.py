@@ -83,6 +83,9 @@ class StateTransfer:
         replica = self.replica
         if not self.in_progress:
             return
+        stats = replica.recovery_stats
+        if stats is not None and stats["rejoined_at"] is None:
+            stats["state_transfer_bytes"] += msg.wire_size()
         if msg.last_cid <= replica.last_executed:
             # peer is no further along than we are; nothing to install.
             # If f+1 peers agree we are actually up to date, stop asking.
@@ -93,6 +96,7 @@ class StateTransfer:
                 msg.last_cid == replica.last_executed
                 and len(group) >= one_correct_size(replica.view.f)
             ):
+                self._adopt_view(group)
                 self._finish()
             return
         key = (msg.checkpoint_cid, msg.state_hash, msg.last_cid)
@@ -145,8 +149,32 @@ class StateTransfer:
         replica.active_cid = None
         self._finish()
 
+    def _adopt_view(self, group: Dict[int, StateReply]) -> None:
+        """Adopt a newer view from an agreeing reply group.
+
+        Same trust model as :meth:`_install`: the lowest-id member of a
+        group that already satisfied the agreement threshold.  Matters
+        for a replica that is log-current but was reconfigured out (or
+        in) while unreachable.
+        """
+        replica = self.replica
+        sample = group[min(group)]
+        if sample.view_snapshot is not None:
+            if sample.view_snapshot.view_id > replica.view.view_id:
+                replica.install_view(sample.view_snapshot)
+
     def _finish(self) -> None:
         self.in_progress = False
         self._replies.clear()
         self.transfers_completed += 1
-        self.replica._maybe_propose()
+        replica = self.replica
+        stats = replica.recovery_stats
+        if stats is not None and stats["rejoined_at"] is None:
+            stats["rejoined_at"] = replica.sim.now
+            if replica.obs is not None:
+                replica.obs.on_recovery_completed(
+                    replica.replica_id,
+                    bytes_received=stats["state_transfer_bytes"],
+                    now=replica.sim.now,
+                )
+        replica._maybe_propose()

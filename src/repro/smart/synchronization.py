@@ -137,6 +137,7 @@ class Synchronizer:
     def _install_regency(self, target: int) -> None:
         replica = self.replica
         replica.regency = target
+        replica.log.log_regency(target)
         replica.counters.regency_changes += 1
         self.changing_regency = True
         if replica.obs is not None:
@@ -269,6 +270,7 @@ class Synchronizer:
             return  # leader ignored a certified value: refuse
         if msg.regency > replica.regency:
             replica.regency = msg.regency
+            replica.log.log_regency(msg.regency)
             replica.counters.regency_changes += 1
         self.changing_regency = False
         if replica.obs is not None:

@@ -65,6 +65,41 @@ class TestReproducibility:
         assert run_seed(0).trace_digest != run_seed(3).trace_digest
 
 
+class TestRecoveryProfile:
+    """The crash-recovery schedule space (``--profile recovery``)."""
+
+    def test_recovery_seeds_zero_violations(self):
+        cfg = ExplorerConfig(profile="recovery")
+        report = explore(seeds=10, cfg=cfg)
+        failing = {r.seed: [str(v) for v in r.violations] for r in report.failures}
+        assert report.ok, f"seeds with violations: {failing}"
+        for result in report.results:
+            assert result.delivered >= result.submitted
+
+    def test_every_schedule_leads_with_amnesiac_restart(self):
+        cfg = ExplorerConfig(profile="recovery")
+        for seed in range(10):
+            events = sample_schedule(seed, cfg)
+            crash = next(
+                e.action for e in events if isinstance(e.action, CrashReplica)
+            )
+            assert crash.amnesia
+
+    def test_recovery_profile_is_reproducible(self):
+        cfg = ExplorerConfig(profile="recovery")
+        first = run_seed(7, cfg)
+        second = run_seed(7, cfg)
+        assert first.trace == second.trace
+        assert first.ledger_digest == second.ledger_digest
+
+    def test_default_profile_unperturbed(self):
+        """Adding the recovery stream must not change the default
+        profile's schedules (historical seeds stay reproducible)."""
+        default = [e.describe() for e in sample_schedule(3)]
+        _ = sample_schedule(3, ExplorerConfig(profile="recovery"))
+        assert [e.describe() for e in sample_schedule(3)] == default
+
+
 class TestShrinking:
     def test_failing_schedule_minimized(self):
         """One fatal event (total inbound drop that outlives the run's

@@ -264,6 +264,45 @@ class TestCrashReplica:
         injector.stop(action)
         assert not network.is_crashed(2)
 
+    def test_defaults_are_crash_suspend(self):
+        """The historical describe() string (and hence explorer seed
+        reproducibility) must not change for a plain crash."""
+        action = CrashReplica(2)
+        assert action.amnesia is False
+        assert action.describe() == "crash replica=2"
+
+    def test_amnesia_describe_lists_storage_faults(self):
+        assert (
+            CrashReplica(1, amnesia=True).describe()
+            == "crash-restart replica=1 amnesia"
+        )
+        assert "torn-tail" in CrashReplica(1, amnesia=True, torn_tail=True).describe()
+        assert "bitrot" in CrashReplica(1, amnesia=True, bitrot=True).describe()
+
+    def test_amnesia_crash_damages_wal_disk(self):
+        from repro.ordering.wal_codec import decode_value, encode_value
+        from repro.sim.storage import SimDisk
+        from repro.smart.wal import ConsensusWAL
+        from tests.conftest import Cluster
+
+        cluster = Cluster()
+        for replica in cluster.replicas:
+            replica.log = ConsensusWAL(
+                SimDisk(), encode_op=encode_value, decode_op=decode_value
+            )
+        proxy = cluster.proxy()
+        assert cluster.drain([proxy.invoke(1)])
+        injector = FaultInjector(cluster.network, cluster.replicas, seed=0)
+        victim = cluster.replicas[1]
+        victim.log.append(99, [ClientRequest(1, 99, 0, 4)])  # unsynced
+        action = injector.start(CrashReplica(1, amnesia=True))
+        assert victim.log.disk.crashes == 1
+        assert victim.log.disk.unsynced_size == 0
+        injector.stop(action)  # recover() -> restart()
+        cluster.run(3.0)
+        assert victim.counters.restarts == 1
+        assert not victim.crashed
+
 
 class TestControlFaults:
     def make_cluster(self):

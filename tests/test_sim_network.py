@@ -118,6 +118,21 @@ class TestFaults:
         sim.run()
         assert boxes["b"].messages == []
 
+    def test_in_flight_message_not_delivered_to_new_incarnation(self, sim, net):
+        """A message sent toward the pre-crash incarnation must not
+        arrive stale after the node recovers (incarnation epochs)."""
+        boxes = wire(net, "a", "b")
+        net.send("a", "b", "stale")
+        # crash and recover while the message is still in flight
+        sim.schedule(0.0001, net.crash, "b")
+        sim.schedule(0.0002, net.recover, "b")
+        sim.run()
+        assert boxes["b"].messages == []
+        # the recovered incarnation receives fresh messages normally
+        net.send("a", "b", "fresh")
+        sim.run()
+        assert boxes["b"].messages == [("a", "fresh")]
+
     def test_blocked_link_drops(self, sim, net):
         boxes = wire(net, "a", "b")
         net.block("a", "b")

@@ -143,3 +143,52 @@ class TestFileBackedLog:
         for _cid, batch in recovered.entries:
             replayed.execute_batch(_cid, batch, 0)
         assert replayed.history == apps[0].history
+
+
+class TestFileBackedLogDamage:
+    def _log_with_entries(self, tmp_path, count=3):
+        path = str(tmp_path / "ops.log")
+        log = FileBackedLog(path)
+        for cid in range(count):
+            log.append(cid, [request(cid)])
+        return path
+
+    def test_torn_tail_truncated_on_recovery(self, tmp_path):
+        """A partial final record (crash mid-write) is discarded and the
+        file is physically truncated to the valid prefix."""
+        path = self._log_with_entries(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(0, 2)
+            size = fh.tell()
+            fh.truncate(size - 7)  # cut into the final record
+
+        reloaded = FileBackedLog(path)
+        assert [cid for cid, _ in reloaded.entries] == [0, 1]
+        # the truncation is durable: a second reload is clean too
+        import os
+
+        assert os.path.getsize(path) < size - 7
+        again = FileBackedLog(path)
+        assert [cid for cid, _ in again.entries] == [0, 1]
+
+    def test_crc_mismatch_in_tail_truncated(self, tmp_path):
+        path = self._log_with_entries(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(-5, 2)
+            fh.write(b"X")  # corrupt the last record's payload
+
+        reloaded = FileBackedLog(path)
+        assert [cid for cid, _ in reloaded.entries] == [0, 1]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        from repro.sim.storage import LogCorruption
+
+        path = self._log_with_entries(tmp_path)
+        with open(path, "rb") as fh:
+            first_line_end = fh.read().find(b"\n")
+        with open(path, "r+b") as fh:
+            fh.seek(first_line_end - 3)
+            fh.write(b"X")  # bad record, valid records follow
+
+        with pytest.raises(LogCorruption):
+            FileBackedLog(path)

@@ -1,0 +1,148 @@
+"""Tests for the consensus WAL and the ordering-service WAL codec."""
+
+import random
+
+import pytest
+
+from repro.fabric.envelope import Envelope
+from repro.ordering.node import TimeToCut
+from repro.ordering.wal_codec import decode_value, encode_value
+from repro.sim.storage import SimDisk, StorageFaults
+from repro.smart.durability import Checkpoint, state_digest
+from repro.smart.messages import ClientRequest
+from repro.smart.reconfiguration import ReconfigOp
+from repro.smart.wal import ConsensusWAL
+
+
+def request(seq, op=7):
+    return ClientRequest(client_id=1, sequence=seq, operation=op, size_bytes=4)
+
+
+def make_wal():
+    return ConsensusWAL(SimDisk())
+
+
+class TestConsensusWAL:
+    def test_batches_group_commit_on_vote_fsync(self):
+        wal = make_wal()
+        wal.append(0, [request(0)])
+        assert wal.disk.unsynced_size > 0  # batch alone is not durable
+        wal.log_write(1, 0, b"\xaa" * 4)
+        assert wal.disk.unsynced_size == 0  # the vote fsync carried it
+
+    def test_recover_roundtrip(self):
+        wal = make_wal()
+        wal.append(0, [request(0, 3), request(1, 4)])
+        wal.append(1, [request(2, 5)])
+        state = {"total": 12}
+        wal.set_checkpoint(
+            Checkpoint(cid=0, state=state, state_hash=state_digest(state))
+        )
+        wal.log_write(2, 0, b"\x01" * 8)
+        wal.log_accept(2, 0, b"\x01" * 8)
+        wal.log_regency(1)
+        wal.log_write(2, 1, b"\x02" * 8)
+
+        fresh = ConsensusWAL(wal.disk)
+        recovery = fresh.recover()
+        assert not recovery.corrupt
+        assert recovery.truncated_bytes == 0
+        assert recovery.checkpoint.cid == 0
+        assert recovery.checkpoint.state == {"total": 12}
+        assert [cid for cid, _ in recovery.entries] == [1]
+        assert recovery.write_evidence == {2: {0: b"\x01" * 8, 1: b"\x02" * 8}}
+        assert recovery.accept_evidence == {2: {0: b"\x01" * 8}}
+        assert recovery.regency == 1
+        assert fresh.last_cid == 1
+
+    def test_synced_votes_survive_lost_suffix(self):
+        wal = make_wal()
+        wal.log_write(0, 0, b"\xab" * 8)  # fsynced before send
+        wal.append(0, [request(0)])  # unsynced batch record
+        wal.disk.crash(StorageFaults(), random.Random(0))
+        recovery = ConsensusWAL(wal.disk).recover()
+        assert recovery.write_evidence == {0: {0: b"\xab" * 8}}
+        assert recovery.entries == []  # the batch is gone -- safety intact
+
+    def test_torn_tail_truncates_and_continues(self):
+        wal = make_wal()
+        wal.log_write(0, 0, b"\x01" * 8)
+        wal.append(0, [request(0)])
+        wal.append(1, [request(1)])
+        rng = random.Random(2)
+        wal.disk.crash(StorageFaults(torn_tail=True), rng)
+        recovery = ConsensusWAL(wal.disk).recover()
+        assert not recovery.corrupt
+        assert recovery.write_evidence == {0: {0: b"\x01" * 8}}
+        # after truncation the remaining image rescans cleanly
+        assert ConsensusWAL(wal.disk).verify() == []
+
+    def test_midlog_corruption_flags_corrupt(self):
+        wal = make_wal()
+        wal.log_write(0, 0, b"\x01" * 8)
+        wal.log_write(1, 0, b"\x02" * 8)
+        wal.log_write(2, 0, b"\x03" * 8)
+        # flip a bit in the middle record (not the last one)
+        record_len = wal.disk.durable_size // 3
+        wal.disk._durable[record_len + 15] ^= 0x01
+        recovery = ConsensusWAL(wal.disk).recover()
+        assert recovery.corrupt
+        # only the clean prefix survives
+        assert recovery.write_evidence == {0: {0: b"\x01" * 8}}
+
+    def test_verify_reports_conflicting_votes(self):
+        wal = make_wal()
+        wal.log_write(3, 1, b"\x01" * 8)
+        wal.log_write(3, 1, b"\x02" * 8)
+        problems = wal.verify()
+        assert any("conflicting write votes" in p for p in problems)
+
+    def test_verify_reports_scan_damage(self):
+        wal = make_wal()
+        wal.log_write(0, 0, b"\x01" * 8)
+        wal.disk.append(b"garbage")
+        assert any("log scan failed" in p for p in wal.verify())
+
+    def test_clear_resets_memory_not_disk(self):
+        wal = make_wal()
+        wal.append(0, [request(0)])
+        wal.log_write(0, 0, b"\x01" * 8)
+        wal.clear()
+        assert len(wal) == 0
+        assert wal.disk.durable_size > 0
+
+
+class TestWalCodec:
+    def roundtrip(self, value):
+        return decode_value(encode_value(value))
+
+    def test_scalars_and_containers(self):
+        value = {"a": [1, 2.5, None, True, "s"], "b": (1, (2, b"\x00\xff"))}
+        assert self.roundtrip(value) == value
+
+    def test_envelope(self):
+        env = Envelope(
+            channel_id="ch0",
+            transaction=("tx", 1),
+            payload_size=1024,
+            submitter="client-9",
+            envelope_id=42,
+        )
+        back = self.roundtrip(env)
+        assert isinstance(back, Envelope)
+        assert back.channel_id == "ch0"
+        assert back.transaction == ("tx", 1)
+        assert back.envelope_id == 42
+        assert back.signature == env.signature
+
+    def test_time_to_cut_and_reconfig(self):
+        ttc = self.roundtrip(TimeToCut(channel_id="ch0", target_height=5))
+        assert isinstance(ttc, TimeToCut)
+        assert ttc.target_height == 5
+        rc = self.roundtrip(ReconfigOp(action="remove", replica_id=3))
+        assert isinstance(rc, ReconfigOp)
+        assert (rc.action, rc.replica_id) == ("remove", 3)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
