@@ -14,12 +14,13 @@ RECOVERY_OUT ?= faults-recovery.json
 BASELINE ?= benchmarks/baselines/BENCH_smoke.json
 CANDIDATE ?= BENCH_smoke.json
 TOLERANCE ?= 0.05
+KERNEL_BASELINE ?= benchmarks/baselines/BENCH_kernel.json
 
 # protocol-aware analysis knobs (see docs/ANALYSIS.md)
 ANALYZE_OUT ?= analysis-report.json
 DETSAN_OUT ?= detsan-report.json
 
-.PHONY: test lint analyze detsan ci faults-smoke faults-explore faults-recovery bench-smoke bench-check bench-baseline bench-full
+.PHONY: test lint analyze detsan ci faults-smoke faults-explore faults-recovery bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
@@ -43,7 +44,7 @@ detsan:
 		--json $(DETSAN_OUT)
 
 ## everything CI's per-commit job runs, in order
-ci: lint analyze test faults-smoke faults-recovery bench-smoke bench-check
+ci: lint analyze test faults-smoke faults-recovery bench-smoke bench-check bench-kernel
 
 ## quick confidence check: 5 explorer seeds (runs in seconds)
 faults-smoke:
@@ -79,6 +80,24 @@ bench-check:
 bench-baseline:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench run --smoke \
 		--name smoke --out $(BASELINE)
+
+## kernel fast-path speed gate: run the kernel_speed benchmark (full
+## matrix, seconds) and compare against its committed baseline.  The
+## wall-clock metrics carry a wide declared tolerance (CI machines are
+## noisy); events_processed is bit-deterministic and gates exactly, so
+## any change to the event stream fails here even if timing looks fine.
+bench-kernel:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench run \
+		--only kernel_speed --name kernel --out BENCH_kernel.json
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench compare \
+		$(KERNEL_BASELINE) BENCH_kernel.json
+
+## refresh the committed kernel-speed baseline after an intentional
+## kernel change (expect the wall-clock numbers to move; check the
+## events_processed rows stayed identical unless semantics changed)
+bench-kernel-baseline:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench run \
+		--only kernel_speed --name kernel --out $(KERNEL_BASELINE)
 
 ## full paper-figure matrices (minutes); writes BENCH_full.json
 bench-full:

@@ -39,6 +39,10 @@ PROTO rules -- protocol invariants:
 - ``PROTO003`` scheduling primitives (``heapq``, ``threading``,
   ``sched``, ``asyncio``, ``time.sleep``) outside ``sim/core.py``:
   all concurrency must go through the deterministic simulator kernel.
+  Also flags constructing (or aliasing for construction) raw
+  ``EventHandle`` objects outside the kernel: handles are pooled and
+  reused, so hand-built ones bypass the pool's lifecycle invariants.
+  Importing ``EventHandle`` for type annotations stays legal.
 
 Order-insensitive aggregators accepted by DET003/DET004: ``sum``,
 ``min``, ``max``, ``len``, ``any``, ``all``, ``sorted``, ``set``,
@@ -212,6 +216,10 @@ HANDLER_NAME_RE = re.compile(r"^_?(on_|receive_|handle_)")
 
 BANNED_SCHEDULING_MODULES = {"heapq", "threading", "_thread", "sched", "asyncio"}
 
+#: Kernel event-pool type: constructing one by hand outside sim/core.py
+#: bypasses pooling (importing it for type annotations is fine).
+EVENT_HANDLE_NAME = "EventHandle"
+
 
 def _call_name(node: ast.Call) -> Optional[str]:
     """The called name: ``foo`` for ``foo(...)``/``x.foo(...)``."""
@@ -359,6 +367,8 @@ class FileChecker:
                 self._check_scheduling_call(node)
             elif isinstance(node, (ast.Import, ast.ImportFrom)):
                 self._check_scheduling_import(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._check_handle_alias(node)
             elif isinstance(node, ast.BinOp):
                 self._check_quorum_arith(node)
             elif isinstance(node, ast.Compare):
@@ -686,6 +696,35 @@ class FileChecker:
                 "PROTO003",
                 node,
                 "time.sleep() blocks real time; use Simulator.schedule",
+            )
+        if (isinstance(func, ast.Name) and func.id == EVENT_HANDLE_NAME) or (
+            isinstance(func, ast.Attribute) and func.attr == EVENT_HANDLE_NAME
+        ):
+            self._report(
+                "PROTO003",
+                node,
+                "direct EventHandle(...) construction bypasses the "
+                "kernel's event pool; schedule through Simulator.post/"
+                "post_at/schedule",
+            )
+
+    def _check_handle_alias(self, node: ast.AST) -> None:
+        """``x = EventHandle``: aliasing the class for later construction
+        is the same bypass as calling it (annotations are untouched --
+        ``h: Optional[EventHandle]`` never assigns the class itself)."""
+        value = node.value
+        if value is None:
+            return
+        if (isinstance(value, ast.Name) and value.id == EVENT_HANDLE_NAME) or (
+            isinstance(value, ast.Attribute)
+            and value.attr == EVENT_HANDLE_NAME
+        ):
+            self._report(
+                "PROTO003",
+                node,
+                "aliasing EventHandle for direct construction bypasses "
+                "the kernel's event pool; schedule through Simulator."
+                "post/post_at/schedule",
             )
 
 

@@ -152,6 +152,8 @@ class LanSimResult:
     generated_rate: float  # blocks*bs signed at node 0
     delivered_rate: float  # envelopes accepted (2f+1 copies) at a frontend
     model_prediction: float
+    #: kernel events the run processed (deterministic for a seed)
+    events_processed: int = 0
 
 
 def simulate_lan_throughput(
@@ -216,6 +218,7 @@ def simulate_lan_throughput(
         generated_rate=generated,
         delivered_rate=delivered,
         model_prediction=predicted,
+        events_processed=service.sim.processed_events,
     )
 
 
@@ -489,3 +492,69 @@ def wheat_ablation(
         for weights in (False, True)
         for tentative in (False, True)
     ]
+
+
+# ----------------------------------------------------------------------
+# Kernel fast path: simulated time per wall-clock second
+# ----------------------------------------------------------------------
+@dataclass
+class KernelSpeedResult:
+    """Wall-clock speed of the simulator under the Figure 7 workload.
+
+    ``sim_seconds_per_wall_second`` is the headline number: how many
+    simulated seconds one real second buys.  ``events_processed`` is
+    bit-deterministic for a seed, so it doubles as an exact regression
+    probe for "someone made the protocol chattier" -- wall-clock noise
+    cannot hide behind it.
+    """
+
+    orderers: int
+    sim_seconds: float
+    wall_seconds: float  # best (minimum) over the in-process repeats
+    events_processed: int
+    sim_seconds_per_wall_second: float
+    events_per_wall_second: float
+    events_per_sim_second: float
+
+
+def kernel_speed(
+    orderers: int = 10,
+    duration: float = 0.4,
+    warmup: float = 0.1,
+    seed: int = 0,
+    repeats: int = 3,
+) -> KernelSpeedResult:
+    """Measure simulated-seconds-per-wall-second on the fig7 LAN workload.
+
+    Runs :func:`simulate_lan_throughput` (the saturated Figure 7 LAN
+    operating point -- the most event-dense scenario in the suite)
+    ``repeats`` times in-process with the *same* seed and keeps the
+    fastest wall time: the workload is deterministic, so repeats only
+    differ by interpreter warm-up and machine noise, and best-of is the
+    standard estimator for that shape.  Wall-clock measurement is the
+    entire point of this benchmark, hence the DET001 suppressions.
+    """
+    import time as _time
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    sim_seconds = warmup + duration
+    best_wall = float("inf")
+    events = 0
+    for _ in range(repeats):
+        start = _time.perf_counter()  # repro: allow[DET001] wall-clock benchmark by design
+        result = simulate_lan_throughput(
+            orderers=orderers, duration=duration, warmup=warmup, seed=seed
+        )
+        wall = _time.perf_counter() - start  # repro: allow[DET001] wall-clock benchmark by design
+        best_wall = min(best_wall, wall)
+        events = result.events_processed
+    return KernelSpeedResult(
+        orderers=orderers,
+        sim_seconds=sim_seconds,
+        wall_seconds=best_wall,
+        events_processed=events,
+        sim_seconds_per_wall_second=sim_seconds / best_wall,
+        events_per_wall_second=events / best_wall,
+        events_per_sim_second=events / sim_seconds,
+    )

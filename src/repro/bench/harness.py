@@ -98,6 +98,11 @@ class Benchmark:
     base_seed: int = 0
     seed_policy: str = "per-repeat"
     directions: Mapping[str, str] = field(default_factory=dict)
+    #: per-metric relative tolerance overrides for ``bench compare``
+    #: (wall-clock metrics need a far wider band than the
+    #: bit-deterministic simulator metrics); unlisted metrics use the
+    #: comparison's global tolerance
+    tolerances: Mapping[str, float] = field(default_factory=dict)
     description: str = ""
     tags: Tuple[str, ...] = ()
 
@@ -120,6 +125,12 @@ class Benchmark:
                 raise ValueError(
                     f"{self.name}: direction for {metric!r} must be "
                     f"'higher' or 'lower', got {direction!r}"
+                )
+        for metric, tol in self.tolerances.items():
+            if not isinstance(tol, (int, float)) or tol < 0:
+                raise ValueError(
+                    f"{self.name}: tolerance for {metric!r} must be a "
+                    f"non-negative number, got {tol!r}"
                 )
 
     def matrix_for(self, mode: str) -> Mapping[str, Sequence[Any]]:
@@ -253,17 +264,23 @@ class MetricSummary:
     direction: str
     values: List[float]
     stats: Dict[str, float]
+    #: declared relative tolerance for regression gating (None = use
+    #: the comparison's global tolerance)
+    tolerance: Optional[float] = None
 
     @property
     def median(self) -> float:
         return self.stats["median"]
 
     def to_json_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "direction": self.direction,
             "values": [_jsonable(v) for v in self.values],
             **{k: _jsonable(self.stats[k]) for k in SUMMARY_KEYS},
         }
+        if self.tolerance is not None:
+            document["tolerance"] = self.tolerance
+        return document
 
 
 @dataclass
@@ -481,6 +498,7 @@ def run_benchmark(
                 direction=directions[metric],
                 values=list(stats.latency(metric)._samples),
                 stats=summarize(stats.latency(metric)._samples),
+                tolerance=benchmark.tolerances.get(metric),
             )
             for metric in sorted(directions)
         }

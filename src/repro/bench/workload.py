@@ -66,7 +66,7 @@ class OpenLoopGenerator:
         delay = self._interval
         if self.jitter_fraction > 0:
             delay *= 1.0 + self.jitter_fraction * (2.0 * self._rng.random() - 1.0)
-        self.sim.schedule(delay, self._tick)
+        self.sim.post(delay, self._tick)
 
 
 @dataclass

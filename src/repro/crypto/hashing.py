@@ -87,10 +87,13 @@ def sha256(*values: Encodable) -> bytes:
     length-prefixed), so ``sha256(a, b) != sha256(a + b)`` -- no
     concatenation ambiguity.
     """
-    hasher = hashlib.sha256()
+    out = bytearray()
     for value in values:
-        hasher.update(canonical_encode(value))
-    return hasher.digest()
+        _encode_into(out, value)
+    # hashing the concatenation equals feeding the encodings to one
+    # hasher.update per value; a single buffer skips the per-value
+    # bytes copies (sha256 runs on every propose/sign/verify)
+    return hashlib.sha256(out).digest()
 
 
 def sha256_hex(*values: Encodable) -> str:

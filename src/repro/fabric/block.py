@@ -38,7 +38,15 @@ class BlockHeader:
     data_hash: bytes
 
     def digest(self) -> bytes:
-        return sha256("block-header", self.number, self.previous_hash, self.data_hash)
+        # headers are frozen, yet every signer/verifier/copy-witness
+        # hashes the same header -- compute once, cache on the instance
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            cached = sha256(
+                "block-header", self.number, self.previous_hash, self.data_hash
+            )
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def signing_payload(self) -> bytes:
         return self.digest()
@@ -53,6 +61,9 @@ class Block:
     #: ordering-node signatures over the header: signer name -> sig
     signatures: Dict[str, bytes] = field(default_factory=dict)
     channel_id: str = "system"
+    #: envelopes never change after assembly, so the summed byte size is
+    #: cached -- wire_size() runs once per hop per receiver
+    _data_size: int = field(default=-1, init=False, repr=False, compare=False)
 
     @property
     def number(self) -> int:
@@ -62,7 +73,12 @@ class Block:
         return self.header.digest()
 
     def data_size(self) -> int:
-        return sum(e.payload_size + ENVELOPE_FRAMING for e in self.envelopes)
+        size = self._data_size
+        if size < 0:
+            size = self._data_size = sum(
+                e.payload_size + ENVELOPE_FRAMING for e in self.envelopes
+            )
+        return size
 
     def wire_size(self) -> int:
         signatures = sum(64 + 16 for _ in self.signatures)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fabric.envelope import DEFAULT_MAX_PAYLOAD_BYTES
 from repro.fabric.policy import EndorsementPolicy, SignedBy
 
 
@@ -25,6 +26,9 @@ class ChannelConfig:
     preferred_max_bytes: int = 2 * 1024 * 1024
     #: cut a non-empty batch after this many seconds regardless of count
     batch_timeout: float = 1.0
+    #: Fabric's ``AbsoluteMaxBytes``: single envelopes above this are
+    #: rejected at submission (frontends enforce it)
+    absolute_max_bytes: int = DEFAULT_MAX_PAYLOAD_BYTES
     #: default policy applied when a chaincode has none of its own
     endorsement_policy: EndorsementPolicy = field(
         default_factory=lambda: SignedBy("org0")
@@ -35,3 +39,5 @@ class ChannelConfig:
             raise ValueError("max_message_count must be >= 1")
         if self.batch_timeout <= 0:
             raise ValueError("batch_timeout must be positive")
+        if self.absolute_max_bytes < 1:
+            raise ValueError("absolute_max_bytes must be >= 1")

@@ -5,20 +5,123 @@ around a transaction proposal carrying the endorsing peers' read/write
 sets and signatures (paper section 3, step 3).  The ordering service
 never inspects its contents -- only its size matters there -- but
 committing peers re-validate everything inside.
+
+Payload bytes are modelled *by length*, never by content:
+:class:`PayloadRef` is the zero-copy handle standing in for a payload,
+carrying its length and a lazily computed digest.  A handle built from
+real bytes (:meth:`PayloadRef.of_bytes`) reports exactly the length and
+digest of those bytes, so the two modes are interchangeable for every
+accounting and validation path -- which is what lets benchmarks pump
+millions of simulated envelopes without allocating their payloads.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.crypto.hashing import sha256
 
 #: Version of a key: (block number, transaction index within block).
 Version = Tuple[int, int]
 
+#: Fabric's ``AbsoluteMaxBytes``: the hard per-envelope payload ceiling
+#: an orderer enforces at submission (10 MB by default, as in HLF).
+DEFAULT_MAX_PAYLOAD_BYTES = 10 * 1024 * 1024
+
 _tx_counter = itertools.count()
+
+
+class OversizedPayloadError(ValueError):
+    """An envelope payload exceeds the channel's absolute byte ceiling."""
+
+
+class PayloadRef:
+    """A zero-copy handle for payload bytes: length now, digest on demand.
+
+    Synthetic handles (``PayloadRef(n)``) model an ``n``-byte payload
+    without allocating it; their digest is derived deterministically
+    from the length.  Handles wrapping real bytes
+    (:meth:`of_bytes`) report the same length and content digest the
+    bytes themselves would, so size/digest accounting is identical in
+    both modes.
+    """
+
+    __slots__ = ("length", "_content", "_digest")
+
+    def __init__(self, length: int, content: Optional[bytes] = None):
+        if length < 0:
+            raise ValueError("payload length must be >= 0")
+        if content is not None and len(content) != length:
+            raise ValueError(
+                f"content is {len(content)} bytes but handle claims {length}"
+            )
+        self.length = length
+        self._content = content
+        self._digest: Optional[bytes] = None
+
+    @classmethod
+    def of_bytes(cls, content: bytes) -> "PayloadRef":
+        """Wrap real payload bytes (keeps a reference, never copies)."""
+        return cls(len(content), content)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def digest(self) -> bytes:
+        """Content digest; computed once, then cached.
+
+        Real-bytes handles hash the bytes; synthetic handles hash their
+        length (the simulation's stand-in for content identity).
+        """
+        cached = self._digest
+        if cached is None:
+            if self._content is not None:
+                cached = hashlib.sha256(self._content).digest()
+            else:
+                cached = sha256("payload-ref", self.length)
+            self._digest = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "bytes" if self._content is not None else "synthetic"
+        return f"<PayloadRef {self.length}B {mode}>"
+
+
+#: What validation paths accept as "a payload".
+PayloadLike = Union[bytes, bytearray, memoryview, PayloadRef]
+
+
+def payload_length(payload: PayloadLike) -> int:
+    """Byte length of a payload, for real bytes and handles alike."""
+    return len(payload)
+
+
+def payload_digest(payload: PayloadLike) -> bytes:
+    """Content digest of a payload, for real bytes and handles alike."""
+    if isinstance(payload, PayloadRef):
+        return payload.digest()
+    return hashlib.sha256(bytes(payload)).digest()
+
+
+def check_payload_size(
+    payload: PayloadLike, max_bytes: int = DEFAULT_MAX_PAYLOAD_BYTES
+) -> int:
+    """Validate a payload against the absolute byte ceiling.
+
+    Returns the payload length; raises :class:`OversizedPayloadError`
+    for anything over ``max_bytes``.  Handles and real bytes take the
+    exact same path, so an oversized :class:`PayloadRef` is rejected
+    precisely where oversized bytes would be.
+    """
+    length = len(payload)
+    if length > max_bytes:
+        raise OversizedPayloadError(
+            f"payload of {length} bytes exceeds the {max_bytes}-byte ceiling"
+        )
+    return length
 
 
 @dataclass(frozen=True)
@@ -139,13 +242,16 @@ class Transaction:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """The opaque, signed unit submitted to the ordering service.
 
     ``payload_size`` is the serialized size used for network/blocks
     accounting -- the paper evaluates 40 B (a SHA-256 hash), 200 B
     (three ECDSA endorsement signatures), 1 KB and 4 KB envelopes.
+    ``payload`` optionally carries the zero-copy :class:`PayloadRef`
+    handle; synthetic envelopes leave it ``None`` and materialize one
+    lazily through :meth:`payload_ref`.
     """
 
     channel_id: str
@@ -156,12 +262,27 @@ class Envelope:
     is_config: bool = False
     envelope_id: int = field(default_factory=lambda: next(_tx_counter))
     create_time: Optional[float] = None
+    payload: Optional[PayloadRef] = field(default=None, repr=False, compare=False)
+    #: identity digest cache -- the hashed fields never change after
+    #: construction, and blocks/frontends hash every envelope repeatedly
+    _digest: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
 
     def digest(self) -> bytes:
-        content = (
-            self.transaction.digest() if self.transaction is not None else b"raw"
-        )
-        return sha256("envelope", self.channel_id, content, self.envelope_id)
+        cached = self._digest
+        if cached is None:
+            content = (
+                self.transaction.digest() if self.transaction is not None else b"raw"
+            )
+            cached = sha256("envelope", self.channel_id, content, self.envelope_id)
+            self._digest = cached
+        return cached
+
+    def payload_ref(self) -> PayloadRef:
+        """The payload handle (created on first use for raw envelopes)."""
+        ref = self.payload
+        if ref is None:
+            ref = self.payload = PayloadRef(self.payload_size)
+        return ref
 
     @classmethod
     def raw(cls, channel_id: str, payload_size: int, submitter: str = "") -> "Envelope":
@@ -173,4 +294,18 @@ class Envelope:
             transaction=None,
             payload_size=payload_size,
             submitter=submitter,
+        )
+
+    @classmethod
+    def from_bytes(
+        cls, channel_id: str, content: bytes, submitter: str = ""
+    ) -> "Envelope":
+        """An envelope around real payload bytes (kept zero-copy)."""
+        ref = PayloadRef.of_bytes(content)
+        return cls(
+            channel_id=channel_id,
+            transaction=None,
+            payload_size=ref.length,
+            submitter=submitter,
+            payload=ref,
         )

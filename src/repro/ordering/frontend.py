@@ -18,12 +18,12 @@ Frontends are part of the *peer* trust domain.  Each frontend:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.crypto.keys import KeyRegistry
 from repro.fabric.api import BlockDelivery, SubmitEnvelope
 from repro.fabric.block import Block
-from repro.fabric.envelope import Envelope
+from repro.fabric.envelope import Envelope, check_payload_size
 from repro.sim.core import Simulator
 from repro.sim.monitor import StatsRegistry
 from repro.sim.network import Network
@@ -53,6 +53,7 @@ class Frontend:
         orderer_names: Optional[Set[str]] = None,
         verify_signatures: bool = False,
         stats: Optional[StatsRegistry] = None,
+        max_envelope_bytes: Optional[Union[int, Mapping[str, int]]] = None,
     ):
         self.sim = sim
         self.network = network
@@ -63,6 +64,15 @@ class Frontend:
         self.orderer_names = orderer_names or set()
         self.verify_signatures = verify_signatures
         self.stats = stats or StatsRegistry()
+        #: Fabric's AbsoluteMaxBytes ceiling -- one int for every
+        #: channel or a per-channel mapping; None disables the check
+        self.max_envelope_bytes = max_envelope_bytes
+        # instrument handles are resolved lazily on the first delivered
+        # block (so registry contents match the uncached behaviour) and
+        # then reused -- _record_stats runs once per block
+        self._blocks_meter = None
+        self._envelopes_meter = None
+        self._latency_recorder = None
         self.peers: List[object] = []
         self.on_block: List[Callable[[Block], None]] = []
         self._collectors: Dict[Tuple[str, int], _BlockCollector] = {}
@@ -93,7 +103,18 @@ class Frontend:
     # client side: relay envelopes into the ordering cluster
     # ------------------------------------------------------------------
     def submit(self, envelope: Envelope) -> None:
-        """Relay an envelope to the ordering cluster (fire-and-forget)."""
+        """Relay an envelope to the ordering cluster (fire-and-forget).
+
+        Raises :class:`~repro.fabric.envelope.OversizedPayloadError`
+        when the payload exceeds the channel's AbsoluteMaxBytes ceiling
+        -- identically for real-bytes payloads and zero-copy handles.
+        """
+        ceiling = self.max_envelope_bytes
+        if ceiling is not None:
+            if not isinstance(ceiling, int):
+                ceiling = ceiling.get(envelope.channel_id)
+            if ceiling is not None:
+                check_payload_size(envelope.payload_ref(), ceiling)
         if envelope.create_time is None:
             envelope.create_time = self.sim.now
         self.envelopes_submitted += 1
@@ -209,11 +230,14 @@ class Frontend:
 
     def _record_stats(self, block: Block) -> None:
         now = self.sim.now
-        self.stats.meter(f"{self.name}.blocks").record(now, 1.0)
-        self.stats.meter(f"{self.name}.envelopes").record(
-            now, float(len(block.envelopes))
-        )
-        latency = self.stats.latency(f"{self.name}.latency")
+        blocks = self._blocks_meter
+        if blocks is None:
+            blocks = self._blocks_meter = self.stats.meter(f"{self.name}.blocks")
+            self._envelopes_meter = self.stats.meter(f"{self.name}.envelopes")
+            self._latency_recorder = self.stats.latency(f"{self.name}.latency")
+        blocks.record(now, 1.0)
+        self._envelopes_meter.record(now, float(len(block.envelopes)))
+        latency = self._latency_recorder
         for envelope in block.envelopes:
             if envelope.create_time is not None:
                 latency.record(now - envelope.create_time)

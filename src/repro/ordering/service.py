@@ -397,6 +397,10 @@ def build_ordering_service(
             orderer_names=orderer_names,
             verify_signatures=config.verify_block_signatures,
             stats=stats,
+            max_envelope_bytes={
+                channel_id: cfg.absolute_max_bytes
+                for channel_id, cfg in channels.items()
+            },
         )
         network.register(client_id, frontend, site=frontend_sites[j])
         for node in nodes:

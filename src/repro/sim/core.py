@@ -10,13 +10,34 @@ objects.
 The kernel is fully deterministic: ties in time are broken by a
 monotonically increasing sequence number, and all randomness must come
 from :class:`repro.sim.randomness.RandomStreams`.
+
+Fast path
+---------
+
+The heap stores ``(time, seq, handle)`` tuples so ordering is decided
+by C-level tuple comparison (``seq`` is unique, so the handle itself is
+never compared).  Hot senders that do not need cancellation use
+:meth:`Simulator.post` / :meth:`Simulator.post_at` /
+:meth:`Simulator.post_many`, which recycle :class:`EventHandle` objects
+through a free list (the *event pool*).  Pooled handles never escape
+the kernel, so a recycled handle can never alias an event some caller
+still holds a reference to; cancellable timers keep going through
+:meth:`Simulator.schedule`, whose handles are never recycled.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Tuple
+
+#: Upper bound on the event free list; beyond this, fired pooled events
+#: are simply dropped for the garbage collector (keeps pathological
+#: bursts from pinning memory forever).
+EVENT_POOL_MAX = 4096
+
+_heappush = heapq.heappush
 
 
 class SimulationError(RuntimeError):
@@ -24,9 +45,14 @@ class SimulationError(RuntimeError):
 
 
 class EventHandle:
-    """A scheduled callback that can be cancelled before it fires."""
+    """A scheduled callback that can be cancelled before it fires.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    ``pooled`` marks handles owned by the kernel's event pool: they are
+    created only by the ``post*`` fast paths, are never returned to
+    callers, and are recycled after firing.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "pooled")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -34,6 +60,7 @@ class EventHandle:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.pooled = False
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
@@ -42,6 +69,8 @@ class EventHandle:
         self.args = ()
 
     def __lt__(self, other: "EventHandle") -> bool:
+        # kept for compatibility: heap entries are tuples, so the kernel
+        # itself never compares handles (seq ties are impossible)
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -91,14 +120,14 @@ class Future:
 
     def add_callback(self, fn: Callable[["Future"], None]) -> None:
         if self._done:
-            self.sim.schedule(0.0, fn, self)
+            self.sim.post(0.0, fn, self)
         else:
             self._callbacks.append(fn)
 
     def _fire(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            self.sim.schedule(0.0, fn, self)
+        if callbacks:
+            self.sim.post_many(0.0, callbacks, self)
 
 
 class Process:
@@ -119,7 +148,7 @@ class Process:
         self.gen = gen
         self.name = name
         self.result = Future(sim)
-        sim.schedule(0.0, self._step, None)
+        sim.post(0.0, self._step, None)
 
     def _step(self, send_value: Any) -> None:
         if self.result.done:
@@ -130,13 +159,13 @@ class Process:
             self.result.resolve(stop.value)
             return
         if yielded is None:
-            self.sim.schedule(0.0, self._step, None)
+            self.sim.post(0.0, self._step, None)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(f"process {self.name} slept for {yielded!r} < 0")
-            self.sim.schedule(float(yielded), self._step, None)
+            self.sim.post(float(yielded), self._step, None)
         elif isinstance(yielded, Future):
-            yielded.add_callback(lambda fut: self._step_future(fut))
+            yielded.add_callback(self._step_future)
         else:
             raise SimulationError(
                 f"process {self.name} yielded unsupported value {yielded!r}"
@@ -167,8 +196,9 @@ class Simulator:
 
     def __init__(self):
         self.now: float = 0.0
-        self._heap: list[EventHandle] = []
+        self._heap: list[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
+        self._pool: list[EventHandle] = []
         self._processed = 0
         self._running = False
 
@@ -176,11 +206,16 @@ class Simulator:
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
-        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        Returns a cancellable handle; such handles are owned by the
+        caller and never recycled.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
-        handle = EventHandle(self.now + delay, next(self._seq), fn, args)
-        heapq.heappush(self._heap, handle)
+        time = self.now + delay
+        handle = EventHandle(time, seq := next(self._seq), fn, args)
+        _heappush(self._heap, (time, seq, handle))
         return handle
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -190,6 +225,71 @@ class Simulator:
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Run ``fn(*args)`` at the current time, after pending events."""
         return self.schedule(0.0, fn, *args)
+
+    # -- pooled fast path ----------------------------------------------
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, pooled event."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        pool = self._pool
+        time = self.now + delay
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(time, 0, fn, args)
+            handle.pooled = True
+        handle.seq = seq = next(self._seq)
+        _heappush(self._heap, (time, seq, handle))
+
+    def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no handle, pooled event."""
+        now = self.now
+        if time < now:
+            time = now
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(time, 0, fn, args)
+            handle.pooled = True
+        handle.seq = seq = next(self._seq)
+        _heappush(self._heap, (time, seq, handle))
+
+    def post_many(
+        self, delay: float, fns: Iterable[Callable[..., Any]], *args: Any
+    ) -> None:
+        """Batch-schedule ``fn(*args)`` for every ``fn`` at ``now + delay``.
+
+        One pooled push per callback without per-call dispatch overhead;
+        callbacks fire in iteration order (consecutive sequence numbers).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        time = self.now + delay
+        pool = self._pool
+        heap = self._heap
+        push = _heappush
+        nextseq = self._seq.__next__
+        for fn in fns:
+            if pool:
+                handle = pool.pop()
+                handle.time = time
+                handle.fn = fn
+                handle.args = args
+                handle.cancelled = False
+            else:
+                handle = EventHandle(time, 0, fn, args)
+                handle.pooled = True
+            handle.seq = seq = nextseq()
+            push(heap, (time, seq, handle))
 
     def spawn(self, gen: Generator, name: str = "process") -> Process:
         """Start a generator-based :class:`Process`."""
@@ -203,7 +303,7 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        return sum(1 for _, _, handle in self._heap if not handle.cancelled)
 
     @property
     def processed_events(self) -> int:
@@ -211,13 +311,21 @@ class Simulator:
 
     def step(self) -> bool:
         """Process the next event; returns ``False`` when idle."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        pool = self._pool
+        while heap:
+            time, _seq, handle = heapq.heappop(heap)
             if handle.cancelled:
                 continue
-            self.now = handle.time
+            self.now = time
             fn, args = handle.fn, handle.args
-            handle.cancel()  # release references
+            if handle.pooled:
+                handle.fn = None
+                handle.args = ()
+                if len(pool) < EVENT_POOL_MAX:
+                    pool.append(handle)
+            else:
+                handle.cancel()  # release references
             self._processed += 1
             fn(*args)
             return True
@@ -234,22 +342,77 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         processed = 0
+        heap = self._heap
+        pool = self._pool
+        pop = heapq.heappop
+        # Pause cyclic GC for the duration of the loop: per-event garbage
+        # is acyclic (tuples, messages) and freed by refcounting, while
+        # the rare reference cycles live as long as the deployment anyway.
+        # This removes periodic gen-0 scans from the hot loop (~15-20%
+        # of wall time at high event rates) and cannot affect semantics.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
-                    break
-                if max_events is not None and processed >= max_events:
-                    break
-                self.step()
-                processed += 1
+            if until is not None and max_events is None:
+                # the benchmark/deployment shape -- run(until=...): the
+                # per-event max_events and until-is-None tests are
+                # hoisted out of the loop
+                while heap:
+                    entry = heap[0]
+                    handle = entry[2]
+                    if handle.cancelled:
+                        pop(heap)
+                        continue
+                    if entry[0] > until:
+                        break
+                    pop(heap)
+                    self.now = entry[0]
+                    fn, args = handle.fn, handle.args
+                    if handle.pooled:
+                        handle.fn = None
+                        handle.args = ()
+                        if len(pool) < EVENT_POOL_MAX:
+                            pool.append(handle)
+                    else:
+                        handle.cancelled = True
+                        handle.fn = None
+                        handle.args = ()
+                    self._processed += 1
+                    fn(*args)
+            else:
+                while heap:
+                    entry = heap[0]
+                    handle = entry[2]
+                    if handle.cancelled:
+                        pop(heap)
+                        continue
+                    if until is not None and entry[0] > until:
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                    # inlined step() hot loop
+                    pop(heap)
+                    self.now = entry[0]
+                    fn, args = handle.fn, handle.args
+                    if handle.pooled:
+                        handle.fn = None
+                        handle.args = ()
+                        if len(pool) < EVENT_POOL_MAX:
+                            pool.append(handle)
+                    else:
+                        handle.cancelled = True
+                        handle.fn = None
+                        handle.args = ()
+                    self._processed += 1
+                    fn(*args)
+                    processed += 1
             if until is not None and self.now < until:
                 self.now = until
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
 
     def run_until(self, predicate: Callable[[], bool], deadline: float) -> bool:
         """Run until ``predicate()`` is true or ``deadline`` passes.
@@ -259,12 +422,13 @@ class Simulator:
         """
         if predicate():
             return True
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
                 continue
-            if head.time > deadline:
+            if entry[0] > deadline:
                 break
             self.step()
             if predicate():

@@ -12,6 +12,7 @@ emits the same summary statistics into its JSON result schema.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -84,39 +85,46 @@ class Counter:
 class LatencyRecorder:
     """Collects individual latency samples; reports percentiles.
 
-    Samples are appended in O(1); sorted order is re-established lazily
-    on the first statistic query after an insertion and then cached, so
-    bursts of recording cost amortized O(n log n) total instead of the
-    O(n^2) of an insertion sort, while repeated queries over an
-    unchanged sample set never re-sort.
+    Samples are appended in O(1) and kept in *insertion order*; the
+    sorted view needed by percentile queries is a separate cached list,
+    rebuilt lazily on the first query after an insertion.  (An earlier
+    revision sorted ``_samples`` in place, which destroyed arrival
+    order and made order-sensitive statistics depend on whether a
+    percentile had been queried mid-run -- see
+    ``tests/test_sim_monitor.py``.)
     """
 
     def __init__(self, name: str = "latency"):
         self.name = name
         self._samples: List[float] = []
-        self._dirty = False
+        self._sorted: Optional[List[float]] = None
         self._sum = 0.0
 
     def record(self, seconds: float) -> None:
         self._samples.append(seconds)
-        self._dirty = True
+        self._sorted = None  # invalidate the cached sorted view
         self._sum += seconds
 
     def reset(self) -> None:
         """Discard all samples (used to trim experiment warm-up)."""
         self._samples = []
-        self._dirty = False
+        self._sorted = None
         self._sum = 0.0
 
     def extend(self, samples: Iterable[float]) -> None:
         for sample in samples:
             self.record(sample)
 
+    @property
+    def samples(self) -> List[float]:
+        """The raw samples, in insertion (arrival) order."""
+        return list(self._samples)
+
     def _sorted_samples(self) -> List[float]:
-        if self._dirty:
-            self._samples.sort()
-            self._dirty = False
-        return self._samples
+        cached = self._sorted
+        if cached is None:
+            cached = self._sorted = sorted(self._samples)
+        return cached
 
     @property
     def count(self) -> int:
@@ -144,7 +152,11 @@ class LatencyRecorder:
 
     @property
     def stdev(self) -> float:
-        return sample_stdev(self._samples, self.mean if self._samples else None)
+        # summed over the sorted view so the float accumulation order
+        # is stable regardless of sample arrival order / query history
+        return sample_stdev(
+            self._sorted_samples(), self.mean if self._samples else None
+        )
 
     @property
     def minimum(self) -> float:
@@ -192,18 +204,19 @@ class ThroughputMeter:
 
     def rate(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Events per second within ``[start, end]``."""
-        if not self._times:
+        times = self._times
+        if not times:
             return 0.0
-        start = self._times[0] if start is None else start
-        end = self._times[-1] if end is None else end
+        start = times[0] if start is None else start
+        end = times[-1] if end is None else end
         if end <= start:
             return 0.0
-        window = sum(
-            weight
-            for time, weight in zip(self._times, self._weights)
-            if start <= time <= end
-        )
-        return window / (end - start)
+        # times are recorded in ascending order, so the window is a
+        # contiguous slice; bisect + slice-sum keeps the exact same
+        # left-to-right float accumulation as a full linear scan
+        lo = bisect_left(times, start)
+        hi = bisect_right(times, end)
+        return sum(self._weights[lo:hi]) / (end - start)
 
     @property
     def first_time(self) -> Optional[float]:

@@ -18,10 +18,12 @@ network model (payloads are never actually serialized).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Protocol, Tuple
 
-from repro.sim.core import Simulator
+from heapq import heappush as _heappush  # repro: allow[PROTO003] broadcast inlines the kernel's pooled post_at
+
+from repro.sim.core import EventHandle, Simulator
 from repro.sim.randomness import RandomStreams
 
 NodeId = Hashable
@@ -96,6 +98,8 @@ class MatrixLatency(LatencyModel):
 class NIC:
     """Egress network interface: transmissions serialize at ``bandwidth``."""
 
+    __slots__ = ("sim", "bandwidth_bps", "_next_free", "bytes_sent", "busy_seconds")
+
     def __init__(self, sim: Simulator, bandwidth_bps: float):
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -123,7 +127,7 @@ class NIC:
         return self.busy_seconds / elapsed if elapsed > 0 else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Node:
     endpoint: Endpoint
     site: str
@@ -134,13 +138,37 @@ class _Node:
     epoch: int = 0
 
 
-@dataclass
 class NetworkStats:
-    messages_sent: int = 0
-    messages_delivered: int = 0
-    messages_dropped: int = 0
-    bytes_sent: int = 0
-    bytes_by_link: Dict[Tuple[NodeId, NodeId], int] = field(default_factory=dict)
+    """Aggregate traffic counters for one :class:`Network`.
+
+    Per-link byte counts are stored nested by source (``{src: {dst:
+    bytes}}``) because the sender hot loop updates them once per
+    destination; :attr:`bytes_by_link` flattens to the classic
+    ``{(src, dst): bytes}`` view on demand.
+    """
+
+    __slots__ = (
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped",
+        "bytes_sent",
+        "bytes_by_src",
+    )
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.bytes_by_src: Dict[NodeId, Dict[NodeId, int]] = {}
+
+    @property
+    def bytes_by_link(self) -> Dict[Tuple[NodeId, NodeId], int]:
+        return {
+            (src, dst): count
+            for src, inner in self.bytes_by_src.items()
+            for dst, count in inner.items()
+        }
 
 
 #: A filter takes (src, dst, payload) and returns the payload to
@@ -199,7 +227,9 @@ class Network:
         self._rng = self.streams.stream("network")
         #: per-link FIFO enforcement (TCP in-order delivery): latest
         #: scheduled arrival per (src, dst)
-        self._last_arrival: Dict[Tuple[NodeId, NodeId], float] = {}
+        # FIFO floor per directed link, nested by source ({src: {dst:
+        # last_arrival}}) so the sender hot loop avoids tuple keys
+        self._last_arrival: Dict[NodeId, Dict[NodeId, float]] = {}
 
     # ------------------------------------------------------------------
     # membership
@@ -311,66 +341,81 @@ class Network:
         Delivery time = egress queueing at ``src``'s NIC + transmission
         + propagation latency.  Self-sends bypass the NIC.
         """
-        self.stats.messages_sent += 1
-        src_node = self._nodes.get(src)
-        dst_node = self._nodes.get(dst)
+        stats = self.stats
+        stats.messages_sent += 1
+        nodes = self._nodes
+        src_node = nodes.get(src)
         if src_node is None or src_node.crashed:
-            self.stats.messages_dropped += 1
+            stats.messages_dropped += 1
             return
+        dst_node = nodes.get(dst)
         if dst_node is None or dst_node.crashed:
-            self.stats.messages_dropped += 1
+            stats.messages_dropped += 1
             return
-        if (src, dst) in self._blocked:
-            self.stats.messages_dropped += 1
+        link = (src, dst)
+        if self._blocked and link in self._blocked:
+            stats.messages_dropped += 1
             return
-        drop_rate = self._drop_rates.get((src, dst), 0.0)
-        if drop_rate > 0.0 and self._rng.random() < drop_rate:
-            self.stats.messages_dropped += 1
-            return
+        if self._drop_rates:
+            drop_rate = self._drop_rates.get(link, 0.0)
+            if drop_rate > 0.0 and self._rng.random() < drop_rate:
+                stats.messages_dropped += 1
+                return
         extra_delay = 0.0
         copies = 1
         copy_spacing = 0.0
         bypass_fifo = False
-        for fn in self._filters:
-            verdict = fn(src, dst, payload)
-            if verdict is None:
-                self.stats.messages_dropped += 1
-                return
-            if isinstance(verdict, Intercept):
-                if verdict.drop:
-                    self.stats.messages_dropped += 1
+        if self._filters:
+            for fn in self._filters:
+                verdict = fn(src, dst, payload)
+                if verdict is None:
+                    stats.messages_dropped += 1
                     return
-                payload = verdict.payload
-                extra_delay += verdict.extra_delay
-                copies = max(copies, verdict.copies)
-                copy_spacing = max(copy_spacing, verdict.copy_spacing)
-                bypass_fifo = bypass_fifo or verdict.bypass_fifo
-            else:
-                payload = verdict
+                if isinstance(verdict, Intercept):
+                    if verdict.drop:
+                        stats.messages_dropped += 1
+                        return
+                    payload = verdict.payload
+                    extra_delay += verdict.extra_delay
+                    copies = max(copies, verdict.copies)
+                    copy_spacing = max(copy_spacing, verdict.copy_spacing)
+                    bypass_fifo = bypass_fifo or verdict.bypass_fifo
+                else:
+                    payload = verdict
 
         wire_bytes = size_bytes + self.overhead_bytes
         if self.obs is not None:
             self.obs.on_message(src, dst, payload, wire_bytes)
-        self.stats.bytes_sent += wire_bytes
-        link = (src, dst)
-        self.stats.bytes_by_link[link] = self.stats.bytes_by_link.get(link, 0) + wire_bytes
+        stats.bytes_sent += wire_bytes
+        bytes_by_src = stats.bytes_by_src
+        bytes_inner = bytes_by_src.get(src)
+        if bytes_inner is None:
+            bytes_inner = bytes_by_src[src] = {}
+        bytes_inner[dst] = bytes_inner.get(dst, 0) + wire_bytes
 
+        sim = self.sim
         if src == dst:
-            arrival = self.sim.now + LOOPBACK_DELAY
+            arrival = sim.now + LOOPBACK_DELAY
         else:
-            done = src_node.nic.transmit(wire_bytes)
-            prop = self.latency.delay(src_node.site, dst_node.site, self._rng)
-            arrival = done + prop
-        arrival += extra_delay
+            arrival = src_node.nic.transmit(wire_bytes) + self.latency.delay(
+                src_node.site, dst_node.site, self._rng
+            )
+        if extra_delay:
+            arrival += extra_delay
         if not bypass_fifo:
             # connections deliver in order (TCP): jitter may not reorder
             # messages on the same link
-            arrival = max(arrival, self._last_arrival.get(link, 0.0))
-            self._last_arrival[link] = arrival
+            last_arrival = self._last_arrival.get(src)
+            if last_arrival is None:
+                last_arrival = self._last_arrival[src] = {}
+            floor = last_arrival.get(dst, 0.0)
+            if arrival < floor:
+                arrival = floor
+            last_arrival[dst] = arrival
         epoch = dst_node.epoch
-        self.sim.schedule_at(arrival, self._deliver, src, dst, payload, epoch)
+        sim.post_at(arrival, self._deliver, src, dst, payload, epoch)
         for i in range(1, copies):
-            self.sim.schedule_at(
+            sim.post_at(
                 arrival + i * copy_spacing, self._deliver, src, dst, payload, epoch
             )
 
@@ -382,9 +427,112 @@ class Network:
         Copies serialize on the sender's NIC, so fan-out cost is linear
         in the number of receivers -- exactly the effect measured in
         Figure 7.
+
+        Semantically identical to calling :meth:`send` once per
+        destination (same stats, same RNG draws, same delivery order);
+        the source-side lookups are just hoisted out of the loop, since
+        most traffic in a BFT deployment is the vote broadcasts.
         """
+        if self._filters or self._drop_rates or self._blocked or self.obs is not None:
+            # uncommon modes (fault injection, observability) keep the
+            # straightforward path -- one send per destination
+            for dst in dsts:
+                self.send(src, dst, payload, size_bytes)
+            return
+        stats = self.stats
+        nodes = self._nodes
+        src_node = nodes.get(src)
+        if src_node is None or src_node.crashed:
+            for _ in dsts:
+                stats.messages_sent += 1
+                stats.messages_dropped += 1
+            return
+        wire_bytes = size_bytes + self.overhead_bytes
+        sim = self.sim
+        now = sim.now  # constant within the sending event
+        deliver = self._deliver
+        # inlined Simulator.post_at (same pool, same seq numbering):
+        # one pooled heap push per destination without a function call
+        # or argument re-packing -- this loop is the hottest line in the
+        # whole simulator
+        pool = sim._pool
+        heap = sim._heap
+        push = _heappush
+        nextseq = sim._seq.__next__
+        new_handle = EventHandle  # repro: allow[PROTO003] broadcast inlines the kernel's pooled post_at
+        nic = src_node.nic
+        tx_duration = wire_bytes * 8.0 / nic.bandwidth_bps
+        latency = self.latency
+        # LAN deployments use ConstantLatency, whose delay ignores the
+        # site pair -- inline its two-float formula and skip a method
+        # call per destination (the RNG draw sequence is unchanged)
+        const_latency = type(latency) is ConstantLatency
+        if const_latency:
+            lat_base = latency.base
+            lat_jitter = latency.jitter_fraction
+        latency_delay = latency.delay
+        src_site = src_node.site
+        rng = self._rng
+        rng_random = rng.random
+        last_arrival = self._last_arrival.get(src)
+        if last_arrival is None:
+            last_arrival = self._last_arrival[src] = {}
+        bytes_inner = stats.bytes_by_src.get(src)
+        if bytes_inner is None:
+            bytes_inner = stats.bytes_by_src[src] = {}
+        sent = dropped = 0
+        bytes_sent = 0
         for dst in dsts:
-            self.send(src, dst, payload, size_bytes)
+            sent += 1
+            dst_node = nodes.get(dst)
+            if dst_node is None or dst_node.crashed:
+                dropped += 1
+                continue
+            bytes_sent += wire_bytes
+            bytes_inner[dst] = bytes_inner.get(dst, 0) + wire_bytes
+            if src == dst:
+                arrival = now + LOOPBACK_DELAY
+            else:
+                # inlined NIC.transmit (same arithmetic, same state)
+                start = nic._next_free
+                if start < now:
+                    start = now
+                done = start + tx_duration
+                nic._next_free = done
+                nic.bytes_sent += wire_bytes
+                nic.busy_seconds += tx_duration
+                if const_latency:
+                    if lat_jitter <= 0.0:
+                        arrival = done + lat_base
+                    else:
+                        arrival = done + lat_base * (
+                            1.0 + lat_jitter * rng_random()
+                        )
+                else:
+                    arrival = done + latency_delay(src_site, dst_node.site, rng)
+            floor = last_arrival.get(dst, 0.0)
+            if arrival < floor:
+                arrival = floor
+            last_arrival[dst] = arrival
+            # post_at(arrival, deliver, src, dst, payload, epoch), inlined
+            if pool:
+                handle = pool.pop()
+                handle.time = arrival
+                handle.fn = deliver
+                handle.args = (src, dst, payload, dst_node.epoch)
+                handle.cancelled = False
+            else:
+                handle = new_handle(
+                    arrival, 0, deliver, (src, dst, payload, dst_node.epoch)
+                )
+                handle.pooled = True
+            handle.seq = seq = nextseq()
+            push(heap, (arrival, seq, handle))
+        # no user code runs between loop iterations (post_at only queues),
+        # so folding the counter updates after the loop is unobservable
+        stats.messages_sent += sent
+        stats.messages_dropped += dropped
+        stats.bytes_sent += bytes_sent
 
     def _deliver(
         self, src: NodeId, dst: NodeId, payload: Any, epoch: Optional[int] = None

@@ -18,6 +18,26 @@ DEFAULT_MAX_BATCH = 400
 DEFAULT_MAX_BATCH_BYTES = 10 * 1024 * 1024
 
 
+class RequestBatch(list):
+    """A request batch that can memoize its consensus hash.
+
+    Batches travel by reference inside one simulation (the network
+    never serializes payloads), and every replica hashes the same batch
+    object to validate a PROPOSE.  A plain list cannot carry the cache,
+    so the leader's :class:`PendingQueue` hands out this subclass;
+    :func:`repro.smart.consensus.batch_hash` stores one digest per cid
+    in ``hash_by_cid``.  Plain lists still hash fine -- they just never
+    hit the cache (forged batches built by fault injections stay
+    uncached on purpose).
+    """
+
+    __slots__ = ("hash_by_cid",)
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.hash_by_cid = {}
+
+
 class PendingQueue:
     """FIFO of requests awaiting ordering, deduplicated by request id."""
 
@@ -68,7 +88,7 @@ class PendingQueue:
 
     def next_batch(self) -> List[ClientRequest]:
         """Drain up to the batch limits, preserving FIFO order."""
-        batch: List[ClientRequest] = []
+        batch = RequestBatch()
         batch_bytes = 0
         for rid in list(self._queue):
             request = self._queue[rid]

@@ -18,13 +18,45 @@ from repro.smart.view import View
 
 
 def batch_hash(cid: int, batch: List[ClientRequest]) -> bytes:
-    """Canonical hash of a proposed batch (what WRITE/ACCEPT vote on)."""
+    """Canonical hash of a proposed batch (what WRITE/ACCEPT vote on).
+
+    When ``batch`` is a :class:`repro.smart.batching.RequestBatch` the
+    digest is memoized per cid: inside one simulation every replica
+    validates the *same* batch object (payloads are never serialized),
+    and requests are immutable once batched, so hashing it ``n`` times
+    per instance is pure waste.  Plain lists are hashed from scratch.
+    """
+    cache = getattr(batch, "hash_by_cid", None)
+    if cache is not None:
+        cached = cache.get(cid)
+        if cached is not None:
+            return cached
     ids = [(r.client_id, r.sequence, r.size_bytes) for r in batch]
-    return sha256("batch", cid, ids)
+    digest = sha256("batch", cid, ids)
+    if cache is not None:
+        cache[cid] = digest
+    return digest
 
 
 class ConsensusInstance:
     """State of consensus instance ``cid`` at one replica."""
+
+    __slots__ = (
+        "cid",
+        "view",
+        "known_values",
+        "proposed_hash",
+        "_writes",
+        "_accepts",
+        "write_sent",
+        "accept_sent",
+        "decided",
+        "decided_hash",
+        "decided_regency",
+        "tentative_hash",
+        "write_certificate",
+        "timestamps",
+    )
 
     def __init__(self, cid: int, view: View):
         self.cid = cid

@@ -3,11 +3,21 @@
 Sizes: every message reports a ``wire_size()`` used by the network
 model.  The constants approximate BFT-SMaRt's Java serialization plus
 the per-link MAC (paper section 4 / [4]).
+
+All message classes are slotted dataclasses (no per-instance dict) and
+carry an interned ``kind`` class tag used for constant-time dispatch in
+:meth:`repro.smart.replica.ServiceReplica.deliver`.  Messages are
+immutable after construction by convention (only
+``ClientRequest.submit_time`` is ever rewritten), which lets
+``wire_size()`` cache its result: batches are shared by reference
+inside one simulation, so summing per-request sizes on every
+(re)transmission would be O(batch) each time.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
@@ -25,7 +35,15 @@ RequestId = Tuple[int, int]  # (client_id, client_sequence)
 _request_uid = itertools.count()
 
 
-@dataclass
+def batch_payload_bytes(batch: List["ClientRequest"]) -> int:
+    """Serialized size of a request batch inside a consensus message."""
+    total = 0
+    for r in batch:
+        total += REQUEST_OVERHEAD_BYTES + r.size_bytes
+    return total
+
+
+@dataclass(slots=True)
 class ClientRequest:
     """An operation submitted by a client for total ordering.
 
@@ -35,6 +53,8 @@ class ClientRequest:
     commands handled by the replication layer itself.
     """
 
+    kind = sys.intern("ClientRequest")
+
     client_id: int
     sequence: int
     operation: Any
@@ -42,34 +62,44 @@ class ClientRequest:
     reconfig: bool = False
     submit_time: float = 0.0
     uid: int = field(default_factory=lambda: next(_request_uid))
+    #: precomputed (client_id, sequence) -- read on every hot-path dedup
+    request_id: RequestId = field(init=False, repr=False, compare=False)
 
-    @property
-    def request_id(self) -> RequestId:
-        return (self.client_id, self.sequence)
+    def __post_init__(self):
+        self.request_id = (self.client_id, self.sequence)
 
     def wire_size(self) -> int:
         return MESSAGE_HEADER_BYTES + REQUEST_OVERHEAD_BYTES + self.size_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class Propose:
     """Leader's proposal of a batch for consensus instance ``cid``."""
+
+    kind = sys.intern("Propose")
 
     sender: int
     cid: int
     regency: int
     batch: List[ClientRequest]
     value_hash: bytes
+    _wire: int = field(default=-1, init=False, repr=False, compare=False)
 
     def wire_size(self) -> int:
-        payload = sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in self.batch)
-        return MESSAGE_HEADER_BYTES + HASH_BYTES + payload
+        wire = self._wire
+        if wire < 0:
+            wire = self._wire = (
+                MESSAGE_HEADER_BYTES + HASH_BYTES + batch_payload_bytes(self.batch)
+            )
+        return wire
 
 
-@dataclass
+@dataclass(slots=True)
 class Write:
     """Second phase: echo of the proposed value's hash."""
 
+    kind = sys.intern("Write")
+
     sender: int
     cid: int
     regency: int
@@ -79,10 +109,12 @@ class Write:
         return MESSAGE_HEADER_BYTES + HASH_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Accept:
     """Third phase: commit vote for the value's hash."""
 
+    kind = sys.intern("Accept")
+
     sender: int
     cid: int
     regency: int
@@ -92,9 +124,11 @@ class Accept:
         return MESSAGE_HEADER_BYTES + HASH_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Reply:
     """Reply to a client (suppressed when a custom replier is set)."""
+
+    kind = sys.intern("Reply")
 
     sender: int
     client_id: int
@@ -108,9 +142,11 @@ class Reply:
         return MESSAGE_HEADER_BYTES + self.result_size
 
 
-@dataclass
+@dataclass(slots=True)
 class ForwardedRequest:
     """A request a replica forwards to the leader after a first timeout."""
+
+    kind = sys.intern("ForwardedRequest")
 
     sender: int
     request: ClientRequest
@@ -119,9 +155,11 @@ class ForwardedRequest:
         return MESSAGE_HEADER_BYTES + self.request.wire_size()
 
 
-@dataclass
+@dataclass(slots=True)
 class Stop:
     """Vote to abandon the current regency (synchronization phase)."""
+
+    kind = sys.intern("Stop")
 
     sender: int
     next_regency: int
@@ -130,9 +168,11 @@ class Stop:
         return MESSAGE_HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteCertificate:
     """Proof that a write quorum existed for (cid, regency, hash)."""
+
+    kind = sys.intern("WriteCertificate")
 
     cid: int
     regency: int
@@ -143,13 +183,15 @@ class WriteCertificate:
     def wire_size(self) -> int:
         payload = 0
         if self.batch is not None:
-            payload = sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in self.batch)
+            payload = batch_payload_bytes(self.batch)
         return HASH_BYTES + 8 * len(self.writers) + payload
 
 
-@dataclass
+@dataclass(slots=True)
 class StopData:
     """A replica's state report sent to the new regency's leader."""
+
+    kind = sys.intern("StopData")
 
     sender: int
     regency: int
@@ -165,9 +207,11 @@ class StopData:
         return size
 
 
-@dataclass
+@dataclass(slots=True)
 class Sync:
     """New leader's installation message: the safe value to adopt."""
+
+    kind = sys.intern("Sync")
 
     sender: int
     regency: int
@@ -177,14 +221,16 @@ class Sync:
     proofs: List[StopData]
 
     def wire_size(self) -> int:
-        payload = sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in self.batch)
+        payload = batch_payload_bytes(self.batch)
         proofs = sum(p.wire_size() for p in self.proofs)
         return MESSAGE_HEADER_BYTES + HASH_BYTES + payload + proofs
 
 
-@dataclass
+@dataclass(slots=True)
 class ValueRequest:
     """Ask peers for the batch behind a hash we voted on but never saw."""
+
+    kind = sys.intern("ValueRequest")
 
     sender: int
     cid: int
@@ -194,21 +240,24 @@ class ValueRequest:
         return MESSAGE_HEADER_BYTES + HASH_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class ValueResponse:
+    kind = sys.intern("ValueResponse")
+
     sender: int
     cid: int
     value_hash: bytes
     batch: List[ClientRequest]
 
     def wire_size(self) -> int:
-        payload = sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in self.batch)
-        return MESSAGE_HEADER_BYTES + HASH_BYTES + payload
+        return MESSAGE_HEADER_BYTES + HASH_BYTES + batch_payload_bytes(self.batch)
 
 
-@dataclass
+@dataclass(slots=True)
 class StateRequest:
     """State-transfer request from a recovering or joining replica."""
+
+    kind = sys.intern("StateRequest")
 
     sender: int
     from_cid: int
@@ -217,9 +266,11 @@ class StateRequest:
         return MESSAGE_HEADER_BYTES + 8
 
 
-@dataclass
+@dataclass(slots=True)
 class StateReply:
     """Checkpoint + log suffix from an up-to-date replica."""
+
+    kind = sys.intern("StateReply")
 
     sender: int
     checkpoint_cid: int
@@ -232,7 +283,6 @@ class StateReply:
 
     def wire_size(self) -> int:
         log_bytes = sum(
-            sum(REQUEST_OVERHEAD_BYTES + r.size_bytes for r in batch)
-            for _cid, batch in self.log
+            batch_payload_bytes(batch) for _cid, batch in self.log
         )
         return MESSAGE_HEADER_BYTES + HASH_BYTES + self.state_size + log_bytes

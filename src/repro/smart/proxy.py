@@ -106,7 +106,7 @@ class ServiceProxy:
         if self.obs is not None:
             self.obs.on_invoke(self.client_id, asynchronous=False)
         self._transmit(request)
-        self.sim.schedule(self.invoke_timeout, self._check_retry, request.sequence)
+        self.sim.post(self.invoke_timeout, self._check_retry, request.sequence)
         return invocation.future
 
     def invoke_async(self, operation: Any, size_bytes: int = 0) -> ClientRequest:
@@ -142,7 +142,7 @@ class ServiceProxy:
         if self.obs is not None:
             self.obs.on_retry(self.client_id)
         self._transmit(invocation.request)
-        self.sim.schedule(self.invoke_timeout, self._check_retry, sequence)
+        self.sim.post(self.invoke_timeout, self._check_retry, sequence)
 
     # ------------------------------------------------------------------
     # replies

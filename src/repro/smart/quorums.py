@@ -13,17 +13,26 @@ class VoteSet:
     A replica may vote once per phase; re-votes for the same hash are
     idempotent and conflicting votes from the same replica (Byzantine
     equivocation) are recorded but only the first counts.
+
+    Per-value vote weight is accumulated incrementally on ``add`` (views
+    are immutable, so a voter's weight never changes afterwards): quorum
+    checks run once per received WRITE/ACCEPT, which makes them the
+    hottest consensus computation.
     """
+
+    __slots__ = ("view", "_votes", "_voted", "_weights", "equivocators")
 
     def __init__(self, view: View):
         self.view = view
         self._votes: Dict[bytes, Set[int]] = {}
         self._voted: Dict[int, bytes] = {}
+        self._weights: Dict[bytes, float] = {}
         self.equivocators: Set[int] = set()
 
     def add(self, replica: int, value_hash: bytes) -> bool:
         """Record a vote; returns True if it was counted."""
-        if replica not in self.view.weights:
+        weight = self.view.weights.get(replica)
+        if weight is None:
             return False
         previous = self._voted.get(replica)
         if previous is not None:
@@ -31,15 +40,46 @@ class VoteSet:
                 self.equivocators.add(replica)
             return False
         self._voted[replica] = value_hash
-        self._votes.setdefault(value_hash, set()).add(replica)
+        voters = self._votes.get(value_hash)
+        if voters is None:
+            self._votes[value_hash] = {replica}
+            self._weights[value_hash] = weight
+        else:
+            voters.add(replica)
+            self._weights[value_hash] += weight
         return True
 
+    def add_has_quorum(self, replica: int, value_hash: bytes) -> bool:
+        """:meth:`add` then :meth:`has_quorum` in one step.
+
+        The WRITE/ACCEPT hot path runs both on every received vote;
+        fusing them (with :meth:`add` inlined) skips a call frame and
+        the second weight lookup.  Semantically identical to calling
+        the two methods in sequence.
+        """
+        weights = self._weights
+        weight = self.view.weights.get(replica)
+        if weight is not None:
+            previous = self._voted.get(replica)
+            if previous is not None:
+                if previous != value_hash:
+                    self.equivocators.add(replica)
+            else:
+                self._voted[replica] = value_hash
+                voters = self._votes.get(value_hash)
+                if voters is None:
+                    self._votes[value_hash] = {replica}
+                    weights[value_hash] = weight
+                else:
+                    voters.add(replica)
+                    weights[value_hash] += weight
+        return self.view.is_quorum_weight(weights.get(value_hash, 0.0))
+
     def weight_for(self, value_hash: bytes) -> float:
-        voters = self._votes.get(value_hash, ())
-        return sum(self.view.weights[v] for v in voters)
+        return self._weights.get(value_hash, 0.0)
 
     def has_quorum(self, value_hash: bytes) -> bool:
-        return self.view.is_quorum_weight(self.weight_for(value_hash))
+        return self.view.is_quorum_weight(self._weights.get(value_hash, 0.0))
 
     def quorum_value(self) -> Optional[bytes]:
         """The unique hash holding a quorum, if any."""

@@ -30,6 +30,7 @@ from repro.sim.network import Network
 from repro.smart.batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_BATCH_BYTES, PendingQueue
 from repro.smart.consensus import ConsensusInstance, batch_hash
 from repro.smart.durability import Checkpoint, OperationLog, state_digest
+from repro.smart.quorums import VoteSet
 from repro.smart.messages import (
     Accept,
     ClientRequest,
@@ -256,8 +257,20 @@ class ServiceReplica:
     def leader(self) -> int:
         return self.view.leader_of(self.regency)
 
+    @property
+    def view(self) -> View:
+        return self._view
+
+    @view.setter
+    def view(self, view: View) -> None:
+        # every vote broadcast iterates the peer list, so it is derived
+        # once per view change instead of once per message
+        self._view = view
+        self._others = [p for p in view.processes if p != self.replica_id]
+
     def other_replicas(self) -> List[int]:
-        return [p for p in self.view.processes if p != self.replica_id]
+        """The other members of the current view (do not mutate)."""
+        return self._others
 
     def instance(self, cid: int) -> ConsensusInstance:
         inst = self.instances.get(cid)
@@ -436,30 +449,17 @@ class ServiceReplica:
     def deliver(self, src, message) -> None:
         if self.crashed:
             return
-        if isinstance(message, ClientRequest):
-            self._on_request(message)
-        elif isinstance(message, ForwardedRequest):
-            self._on_request(message.request)
-        elif isinstance(message, Propose):
-            self._on_propose(src, message)
-        elif isinstance(message, Write):
-            self._on_write(src, message)
-        elif isinstance(message, Accept):
-            self._on_accept(src, message)
-        elif isinstance(message, Stop):
-            self.synchronizer.on_stop(src, message)
-        elif isinstance(message, StopData):
-            self.synchronizer.on_stopdata(src, message)
-        elif isinstance(message, Sync):
-            self.synchronizer.on_sync(src, message)
-        elif isinstance(message, ValueRequest):
-            self._on_value_request(src, message)
-        elif isinstance(message, ValueResponse):
-            self._on_value_response(src, message)
-        elif isinstance(message, StateRequest):
-            self.state_transfer.on_state_request(src, message)
-        elif isinstance(message, StateReply):
-            self.state_transfer.on_state_reply(src, message)
+        # kind-keyed dispatch: every smart message carries an interned
+        # ``kind`` class tag, so routing is one dict hit instead of a
+        # twelve-way isinstance chain (this is the hottest branch point
+        # in the simulation -- once per message per receiver); foreign
+        # payloads without a ``kind`` are ignored, same as before
+        try:
+            handler = _DISPATCH.get(message.kind)
+        except AttributeError:
+            return
+        if handler is not None:
+            handler(self, src, message)
 
     # ------------------------------------------------------------------
     # client requests and proposing
@@ -589,7 +589,7 @@ class ServiceReplica:
             self.log.log_write(inst.cid, self.regency, value_hash),
         )
         if delay > 0:
-            self.sim.schedule(delay, self._send_write, inst, self.regency, value_hash)
+            self.sim.post(delay, self._send_write, inst, self.regency, value_hash)
         else:
             self._send_write(inst, self.regency, value_hash)
 
@@ -603,20 +603,65 @@ class ServiceReplica:
         self._record_write(self.replica_id, inst, regency, value_hash)
 
     def _on_write(self, src: int, msg: Write) -> None:
-        if msg.cid <= self.last_executed:
+        # WRITE votes are the single most frequent message in the
+        # simulation; this inlines _check_gap / instance() /
+        # _record_write / VoteSet.add_has_quorum (all of which stay the
+        # canonical implementations for every other caller) to cut the
+        # call-frame overhead per vote.  Behaviour is identical.
+        cid = msg.cid
+        if cid <= self.last_executed:
             return
-        self._check_gap(msg.cid)
-        inst = self.instance(msg.cid)
-        self._record_write(src, inst, msg.regency, msg.value_hash)
+        if cid > self.last_executed + self.config.state_transfer_gap:
+            self.state_transfer.start()
+        inst = self.instances.get(cid)
+        if inst is None:
+            inst = ConsensusInstance(cid, self.view)
+            self.instances[cid] = inst
+        regency = msg.regency
+        value_hash = msg.value_hash
+        votes = inst._writes.get(regency)
+        if votes is None:
+            votes = VoteSet(inst.view)
+            inst._writes[regency] = votes
+        # inlined VoteSet.add_has_quorum(src, value_hash)
+        weights = votes._weights
+        weight = votes.view.weights.get(src)
+        if weight is not None:
+            previous = votes._voted.get(src)
+            if previous is not None:
+                if previous != value_hash:
+                    votes.equivocators.add(src)
+            else:
+                votes._voted[src] = value_hash
+                voters = votes._votes.get(value_hash)
+                if voters is None:
+                    votes._votes[value_hash] = {src}
+                    weights[value_hash] = weight
+                else:
+                    voters.add(src)
+                    weights[value_hash] += weight
+        if regency != self.regency:
+            return
+        if (
+            votes.view.is_quorum_weight(weights.get(value_hash, 0.0))
+            or self.faults.skip_quorum_checks
+        ):
+            if self.obs is not None:
+                self.obs.on_write_quorum(self.replica_id, cid, self.sim.now)
+            if inst.write_certificate is None or inst.write_certificate.regency < regency:
+                inst.record_write_quorum(regency, value_hash, at=self.sim.now)
+            self._cast_accept(inst, value_hash)
+            if self.config.tentative_execution:
+                self._try_tentative(inst, value_hash, regency)
 
     def _record_write(
         self, voter: int, inst: ConsensusInstance, regency: int, value_hash: bytes
     ) -> None:
         votes = inst.writes(regency)
-        votes.add(voter, value_hash)
+        quorum = votes.add_has_quorum(voter, value_hash)
         if regency != self.regency:
             return
-        if votes.has_quorum(value_hash) or self.faults.skip_quorum_checks:
+        if quorum or self.faults.skip_quorum_checks:
             if self.obs is not None:
                 self.obs.on_write_quorum(self.replica_id, inst.cid, self.sim.now)
             if inst.write_certificate is None or inst.write_certificate.regency < regency:
@@ -634,7 +679,7 @@ class ServiceReplica:
         # fsync-before-send, same as the WRITE vote
         delay = self.log.log_accept(inst.cid, self.regency, value_hash)
         if delay > 0:
-            self.sim.schedule(delay, self._send_accept, inst, self.regency, value_hash)
+            self.sim.post(delay, self._send_accept, inst, self.regency, value_hash)
         else:
             self._send_accept(inst, self.regency, value_hash)
 
@@ -648,20 +693,56 @@ class ServiceReplica:
         self._record_accept(self.replica_id, inst, regency, value_hash)
 
     def _on_accept(self, src: int, msg: Accept) -> None:
-        if msg.cid <= self.last_executed:
+        # mirrors the _on_write fast path (see comment there); the
+        # canonical slow path is _record_accept below
+        cid = msg.cid
+        if cid <= self.last_executed:
             return
-        self._check_gap(msg.cid)
-        inst = self.instance(msg.cid)
-        self._record_accept(src, inst, msg.regency, msg.value_hash)
+        if cid > self.last_executed + self.config.state_transfer_gap:
+            self.state_transfer.start()
+        inst = self.instances.get(cid)
+        if inst is None:
+            inst = ConsensusInstance(cid, self.view)
+            self.instances[cid] = inst
+        regency = msg.regency
+        value_hash = msg.value_hash
+        votes = inst._accepts.get(regency)
+        if votes is None:
+            votes = VoteSet(inst.view)
+            inst._accepts[regency] = votes
+        # inlined VoteSet.add_has_quorum(src, value_hash)
+        weights = votes._weights
+        weight = votes.view.weights.get(src)
+        if weight is not None:
+            previous = votes._voted.get(src)
+            if previous is not None:
+                if previous != value_hash:
+                    votes.equivocators.add(src)
+            else:
+                votes._voted[src] = value_hash
+                voters = votes._votes.get(value_hash)
+                if voters is None:
+                    votes._votes[value_hash] = {src}
+                    weights[value_hash] = weight
+                else:
+                    voters.add(src)
+                    weights[value_hash] += weight
+        if not inst.decided and (
+            votes.view.is_quorum_weight(weights.get(value_hash, 0.0))
+            or self.faults.skip_quorum_checks
+        ):
+            if self.obs is not None:
+                self.obs.on_decided(self.replica_id, cid, self.sim.now)
+            inst.mark_decided(regency, value_hash, at=self.sim.now)
+            self.counters.consensus_decided += 1
+            self._try_execute()
 
     def _record_accept(
         self, voter: int, inst: ConsensusInstance, regency: int, value_hash: bytes
     ) -> None:
         votes = inst.accepts(regency)
-        votes.add(voter, value_hash)
-        if not inst.decided and (
-            votes.has_quorum(value_hash) or self.faults.skip_quorum_checks
-        ):
+        quorum = votes.add_has_quorum(voter, value_hash)
+        if not inst.decided and (quorum or self.faults.skip_quorum_checks):
             if self.obs is not None:
                 self.obs.on_decided(self.replica_id, inst.cid, self.sim.now)
             inst.mark_decided(regency, value_hash, at=self.sim.now)
@@ -953,3 +1034,22 @@ class ServiceReplica:
                     del self.instances[cid]
         if self.replica_id not in new_view.processes:
             self.crashed = True  # removed from the group: go passive
+
+
+#: ``message.kind`` -> handler.  Built once at import; entries that go
+#: through ``self.synchronizer`` / ``self.state_transfer`` must resolve
+#: the attribute at call time because both are recreated on restart.
+_DISPATCH: Dict[str, Callable[["ServiceReplica", Any, Any], None]] = {
+    "ClientRequest": lambda self, src, m: self._on_request(m),
+    "ForwardedRequest": lambda self, src, m: self._on_request(m.request),
+    "Propose": ServiceReplica._on_propose,
+    "Write": ServiceReplica._on_write,
+    "Accept": ServiceReplica._on_accept,
+    "Stop": lambda self, src, m: self.synchronizer.on_stop(src, m),
+    "StopData": lambda self, src, m: self.synchronizer.on_stopdata(src, m),
+    "Sync": lambda self, src, m: self.synchronizer.on_sync(src, m),
+    "ValueRequest": ServiceReplica._on_value_request,
+    "ValueResponse": ServiceReplica._on_value_response,
+    "StateRequest": lambda self, src, m: self.state_transfer.on_state_request(src, m),
+    "StateReply": lambda self, src, m: self.state_transfer.on_state_reply(src, m),
+}

@@ -107,6 +107,16 @@ class View:
             missing = set(self.processes) - set(self.weights)
             if missing:
                 raise ValueError(f"missing weights for replicas {sorted(missing)}")
+        # views are immutable, so the derived quorum quantities are
+        # computed once here instead of on every vote (they sit on the
+        # hottest consensus path: one quorum check per WRITE/ACCEPT)
+        weights = self.weights.values()
+        object.__setattr__(self, "_vmax", max(weights))
+        object.__setattr__(self, "_vmin", min(weights))
+        object.__setattr__(self, "_total_weight", sum(weights))
+        object.__setattr__(
+            self, "_quorum_threshold", (self._total_weight + self.f * self._vmax) / 2.0
+        )
 
     @property
     def n(self) -> int:
@@ -114,15 +124,15 @@ class View:
 
     @property
     def vmax(self) -> float:
-        return max(self.weights.values())
+        return self._vmax
 
     @property
     def vmin(self) -> float:
-        return min(self.weights.values())
+        return self._vmin
 
     @property
     def total_weight(self) -> float:
-        return sum(self.weights.values())
+        return self._total_weight
 
     @property
     def quorum_threshold(self) -> float:
@@ -136,10 +146,10 @@ class View:
         paper's ``Qv = 2 f Vmax + 1`` votes; with uniform weights it
         degenerates to the classic ``ceil((n+f+1)/2)`` rule.
         """
-        return (self.total_weight + self.f * self.vmax) / 2.0
+        return self._quorum_threshold
 
     def is_quorum_weight(self, weight: float) -> bool:
-        return weight > self.quorum_threshold + 1e-9
+        return weight > self._quorum_threshold + 1e-9
 
     @property
     def certificate_size(self) -> int:

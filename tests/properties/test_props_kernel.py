@@ -1,0 +1,203 @@
+"""Property-based tests for the simulator kernel fast path.
+
+The kernel's fast paths (pooled ``post*`` scheduling, the inlined
+``broadcast`` hot loop) are pure re-encodings of the slow paths: these
+properties pin the invariants that make that true -- total and
+deterministic pop order, pool handles never aliasing live events, and
+per-link FIFO surviving batched scheduling and jitter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import EVENT_POOL_MAX, Simulator
+from repro.sim.network import ConstantLatency, Network
+from repro.sim.randomness import RandomStreams
+
+#: a handful of delays with forced collisions, so ties are common
+DELAYS = st.sampled_from([0.0, 1e-9, 0.05, 0.05, 0.1, 0.25])
+
+
+class TestPopOrder:
+    """Heap pop order is a total, deterministic order.
+
+    Ties in time break by sequence number, i.e. by scheduling order --
+    for pooled and cancellable events alike, in any interleaving.
+    """
+
+    @given(st.lists(st.tuples(DELAYS, st.booleans()), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_ties_fire_in_schedule_order_and_replay_identically(self, plan):
+        def run_once():
+            sim = Simulator()
+            fired = []
+            for index, (delay, pooled) in enumerate(plan):
+                if pooled:
+                    sim.post(delay, fired.append, index)
+                else:
+                    sim.schedule(delay, fired.append, index)
+            sim.run()
+            return fired
+
+        first = run_once()
+        # sorted() is stable: equal delays keep scheduling order
+        assert first == sorted(range(len(plan)), key=lambda i: plan[i][0])
+        assert first == run_once()
+
+    @given(st.lists(st.tuples(DELAYS, DELAYS), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_nested_posts_keep_total_order(self, plan):
+        """Events posted *during* the run obey the same (time, seq)
+        order as events posted up front."""
+
+        def run_once():
+            sim = Simulator()
+            fired = []
+
+            def outer(index, inner_delay):
+                fired.append(("outer", index))
+                sim.post(inner_delay, fired.append, ("inner", index))
+
+            for index, (delay, inner_delay) in enumerate(plan):
+                sim.post(delay, outer, index, inner_delay)
+            sim.run()
+            return fired
+
+        first = run_once()
+        assert len(first) == 2 * len(plan)
+        assert first == run_once()
+
+
+class TestEventPool:
+    """Recycled handles never alias anything a caller can still see."""
+
+    OPS = st.lists(
+        st.tuples(st.sampled_from(["post", "schedule", "step"]), DELAYS),
+        min_size=1,
+        max_size=60,
+    )
+
+    @given(OPS)
+    @settings(max_examples=60)
+    def test_pool_disjoint_from_heap_and_caller_handles(self, ops):
+        sim = Simulator()
+        caller_handles = []
+
+        def check():
+            pool_ids = {id(h) for h in sim._pool}
+            heap_ids = {id(entry[2]) for entry in sim._heap}
+            assert not pool_ids & heap_ids, "free-listed handle still queued"
+            assert not pool_ids & {id(h) for h in caller_handles}, (
+                "handle owned by a caller entered the pool"
+            )
+            assert len(sim._pool) <= EVENT_POOL_MAX
+
+        for op, delay in ops:
+            if op == "post":
+                sim.post(delay, lambda: None)
+            elif op == "schedule":
+                caller_handles.append(sim.schedule(delay, lambda: None))
+            else:
+                sim.step()
+            check()
+        while sim.step():
+            check()
+        assert all(not h.pooled for h in caller_handles)
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30)
+    def test_reused_handle_never_fires_stale_payload(self, rounds):
+        """A recycled handle carries only its *new* callback: firing N
+        distinct posts through a pool of reused handles yields each
+        payload exactly once."""
+        sim = Simulator()
+        fired = []
+        for index in range(rounds):
+            sim.post(0.0, fired.append, index)
+            sim.run()  # drains; the handle returns to the pool each round
+        assert fired == list(range(rounds))
+
+
+class TestPerLinkFifo:
+    """Batched/pooled broadcast scheduling preserves per-link FIFO.
+
+    Jitter may not reorder messages on the same (src, dst) connection
+    (TCP in-order delivery) -- including across the fast broadcast loop,
+    plain sends, and NIC queueing for arbitrary message sizes.
+    """
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=50_000)),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40)
+    def test_jittered_broadcast_and_send_deliver_in_order(self, plan, seed):
+        sim = Simulator()
+        net = Network(
+            sim,
+            ConstantLatency(0.001, jitter_fraction=0.9),
+            streams=RandomStreams(seed),
+        )
+        received = {}
+
+        class Box:
+            def __init__(self, name):
+                self.name = name
+
+            def deliver(self, src, payload):
+                received.setdefault((src, self.name), []).append(payload)
+
+        for name in ("a", "b", "c"):
+            net.register(name, Box(name))
+        for index, (use_broadcast, size) in enumerate(plan):
+            if use_broadcast:
+                net.broadcast("a", ["b", "c"], index, size_bytes=size)
+            else:
+                net.send("a", "b", index, size_bytes=size)
+                net.send("a", "c", index, size_bytes=size)
+        sim.run()
+        for link, payloads in received.items():
+            assert payloads == list(range(len(plan))), (
+                f"link {link} delivered out of send order"
+            )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50_000), min_size=1, max_size=25),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40)
+    def test_fast_broadcast_equals_filtered_slow_path(self, sizes, seed):
+        """An always-pass filter forces broadcast() onto the per-dst
+        slow path; deliveries (payloads *and* timestamps) must be
+        identical to the inlined fast loop under the same seed."""
+
+        def run(install_filter):
+            sim = Simulator()
+            net = Network(
+                sim,
+                ConstantLatency(0.001, jitter_fraction=0.9),
+                streams=RandomStreams(seed),
+            )
+            if install_filter:
+                net.add_filter(lambda src, dst, payload: payload)
+            deliveries = []
+
+            class Box:
+                def __init__(self, name):
+                    self.name = name
+
+                def deliver(self, src, payload):
+                    deliveries.append((sim.now, src, self.name, payload))
+
+            for name in ("a", "b", "c", "d"):
+                net.register(name, Box(name))
+            for index, size in enumerate(sizes):
+                net.broadcast("a", ["b", "c", "d"], index, size_bytes=size)
+            sim.run()
+            return deliveries, net.stats.bytes_sent, net.stats.messages_sent
+
+        assert run(install_filter=False) == run(install_filter=True)

@@ -285,6 +285,46 @@ class TestProto003SchedulerBypass:
     def test_sim_core_exempt(self):
         assert "PROTO003" not in rule_ids("src/repro/sim/core.py", "import heapq\n")
 
+    def test_event_handle_construction_flagged(self):
+        findings = rules_at(
+            CORE,
+            "from repro.sim.core import EventHandle\n"
+            "h = EventHandle(1.0, 0, print, ())\n",
+        )
+        assert ("PROTO003", 2) in findings
+
+    def test_event_handle_attribute_construction_flagged(self):
+        assert "PROTO003" in rule_ids(
+            CORE, "import repro.sim.core as core\nh = core.EventHandle(1.0, 0, print, ())\n"
+        )
+
+    def test_event_handle_alias_flagged(self):
+        findings = rules_at(
+            CORE,
+            "from repro.sim.core import EventHandle\nnew_handle = EventHandle\n",
+        )
+        assert ("PROTO003", 2) in findings
+
+    def test_event_handle_annotation_import_not_flagged(self):
+        # cpu.py's pattern: import the class, use it only in annotations
+        assert "PROTO003" not in rule_ids(
+            CORE,
+            """\
+            from typing import Optional
+
+            from repro.sim.core import EventHandle
+
+            class Scheduler:
+                def __init__(self):
+                    self._completion_event: Optional[EventHandle] = None
+            """,
+        )
+
+    def test_event_handle_construction_exempt_in_core(self):
+        assert "PROTO003" not in rule_ids(
+            "src/repro/sim/core.py", "h = EventHandle(1.0, 0, print, ())\n"
+        )
+
 
 class TestSuppressions:
     def test_inline_suppression_honored(self):

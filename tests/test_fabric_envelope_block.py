@@ -12,8 +12,13 @@ from repro.fabric.block import (
 from repro.fabric.envelope import (
     ChaincodeProposal,
     Envelope,
+    OversizedPayloadError,
+    PayloadRef,
     ReadSet,
     WriteSet,
+    check_payload_size,
+    payload_digest,
+    payload_length,
 )
 from repro.fabric.ledger import Ledger, LedgerError
 
@@ -55,6 +60,104 @@ class TestEnvelope:
         w1 = WriteSet({"k": "v"})
         w2 = WriteSet({"k": "w"})
         assert w1.digest() != w2.digest()
+
+
+class TestPayloadRef:
+    """Zero-copy payload handles must be indistinguishable from real
+    bytes for every length/digest/validation path."""
+
+    def test_real_bytes_handle_reports_exact_length_and_digest(self):
+        import hashlib
+
+        content = b"endorsed transaction payload"
+        ref = PayloadRef.of_bytes(content)
+        assert len(ref) == len(content)
+        assert ref.digest() == hashlib.sha256(content).digest()
+
+    def test_of_bytes_is_zero_copy(self):
+        content = b"x" * 4096
+        assert PayloadRef.of_bytes(content)._content is content
+
+    def test_digest_computed_once_then_cached(self):
+        ref = PayloadRef(1024)
+        assert ref.digest() is ref.digest()
+
+    def test_synthetic_digest_deterministic_per_length(self):
+        assert PayloadRef(40).digest() == PayloadRef(40).digest()
+        assert PayloadRef(40).digest() != PayloadRef(200).digest()
+
+    def test_invalid_handles_rejected(self):
+        with pytest.raises(ValueError):
+            PayloadRef(-1)
+        with pytest.raises(ValueError):
+            PayloadRef(3, b"four")
+
+    def test_helpers_agree_between_bytes_and_handle(self):
+        content = b"some payload"
+        ref = PayloadRef.of_bytes(content)
+        assert payload_length(content) == payload_length(ref)
+        assert payload_digest(content) == payload_digest(ref)
+        assert payload_digest(bytearray(content)) == payload_digest(ref)
+
+    def test_check_payload_size_accepts_at_ceiling(self):
+        assert check_payload_size(PayloadRef(1024), 1024) == 1024
+        assert check_payload_size(b"x" * 1024, 1024) == 1024
+
+    def test_check_payload_size_rejects_handles_like_bytes(self):
+        with pytest.raises(OversizedPayloadError):
+            check_payload_size(PayloadRef(1025), 1024)
+        with pytest.raises(OversizedPayloadError):
+            check_payload_size(b"x" * 1025, 1024)
+
+    def test_envelope_from_bytes_wraps_zero_copy(self):
+        content = b"y" * 512
+        envelope = Envelope.from_bytes("ch0", content)
+        assert envelope.payload_size == 512
+        assert envelope.payload_ref()._content is content
+        assert envelope.transaction is None
+
+    def test_raw_envelope_materializes_handle_lazily(self):
+        envelope = Envelope.raw("ch0", 4096)
+        assert envelope.payload is None
+        ref = envelope.payload_ref()
+        assert len(ref) == 4096
+        assert envelope.payload_ref() is ref  # cached on the envelope
+
+
+class TestFrontendOversizedRejection:
+    """The frontend enforces AbsoluteMaxBytes identically for synthetic
+    handles and real payload bytes (the paper's 10 MB Fabric ceiling,
+    shrunk here for test speed)."""
+
+    def _service(self, ceiling):
+        from repro.fabric.channel import ChannelConfig
+        from repro.ordering import OrderingServiceConfig, build_ordering_service
+
+        return build_ordering_service(
+            OrderingServiceConfig(
+                f=1,
+                channel=ChannelConfig("ch0", absolute_max_bytes=ceiling),
+                physical_cores=None,
+                latency=None,
+                seed=0,
+            )
+        )
+
+    def test_oversized_handle_and_bytes_both_rejected(self):
+        service = self._service(ceiling=1024)
+        frontend = service.frontends[0]
+        with pytest.raises(OversizedPayloadError):
+            frontend.submit(Envelope.raw("ch0", 1025))
+        with pytest.raises(OversizedPayloadError):
+            frontend.submit(Envelope.from_bytes("ch0", b"z" * 1025))
+        assert frontend.envelopes_submitted == 0
+
+    def test_at_ceiling_both_accepted(self):
+        service = self._service(ceiling=1024)
+        frontend = service.frontends[0]
+        frontend.submit(Envelope.raw("ch0", 1024))
+        frontend.submit(Envelope.from_bytes("ch0", b"z" * 1024))
+        assert frontend.envelopes_submitted == 2
 
 
 class TestBlock:

@@ -174,6 +174,36 @@ class TestLatencyRecorder:
         recorder.extend([2.0, 3.0])
         assert recorder.stdev == pytest.approx(1.0)
 
+    def test_cached_sort_invalidated_by_record(self):
+        # regression: the cached sorted view must be rebuilt after a
+        # mid-run insertion, or percentiles silently report stale data
+        recorder = LatencyRecorder()
+        recorder.extend([3.0, 1.0])
+        assert recorder.median == pytest.approx(2.0)  # builds the cache
+        recorder.record(100.0)
+        assert recorder.median == pytest.approx(3.0)
+        assert recorder.maximum == 100.0
+
+    def test_cached_sort_invalidated_by_reset(self):
+        recorder = LatencyRecorder()
+        recorder.extend([5.0, 6.0])
+        assert recorder.median == pytest.approx(5.5)  # builds the cache
+        recorder.reset()
+        recorder.record(1.0)
+        assert recorder.median == 1.0
+
+    def test_queries_never_disturb_arrival_order(self):
+        # regression: an earlier revision sorted the sample list in
+        # place, so querying a percentile mid-run destroyed the arrival
+        # order that order-sensitive statistics rely on
+        recorder = LatencyRecorder()
+        recorder.extend([3.0, 1.0, 2.0])
+        recorder.median
+        recorder.percentile(90.0)
+        assert recorder.samples == [3.0, 1.0, 2.0]
+        recorder.record(0.5)
+        assert recorder.samples == [3.0, 1.0, 2.0, 0.5]
+
     def test_summary_keys(self):
         recorder = LatencyRecorder()
         recorder.record(1.0)
