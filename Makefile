@@ -10,6 +10,10 @@ FAULTS_OUT ?= faults-report.json
 RECOVERY_SEEDS ?= 25
 RECOVERY_OUT ?= faults-recovery.json
 
+# smartbft-profile exploration knobs (see docs/SMARTBFT.md)
+SMARTBFT_SEEDS ?= 25
+SMARTBFT_OUT ?= faults-smartbft.json
+
 # benchmark harness knobs (see docs/BENCHMARKS.md)
 BASELINE ?= benchmarks/baselines/BENCH_smoke.json
 CANDIDATE ?= BENCH_smoke.json
@@ -20,7 +24,7 @@ KERNEL_BASELINE ?= benchmarks/baselines/BENCH_kernel.json
 ANALYZE_OUT ?= analysis-report.json
 DETSAN_OUT ?= detsan-report.json
 
-.PHONY: test lint analyze detsan ci faults-smoke faults-explore faults-recovery bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline
+.PHONY: test lint analyze detsan ci faults-smoke faults-explore faults-recovery faults-smartbft bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
@@ -44,7 +48,7 @@ detsan:
 		--json $(DETSAN_OUT)
 
 ## everything CI's per-commit job runs, in order
-ci: lint analyze test faults-smoke faults-recovery bench-smoke bench-check bench-kernel
+ci: lint analyze test faults-smoke faults-recovery faults-smartbft bench-smoke bench-check bench-kernel
 
 ## quick confidence check: 5 explorer seeds (runs in seconds)
 faults-smoke:
@@ -57,6 +61,13 @@ faults-recovery:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults \
 		--seeds $(RECOVERY_SEEDS) --profile recovery \
 		--out $(RECOVERY_OUT)
+
+## SmartBFT-backend exploration: leader censorship + message/crash
+## faults against repro.smart2 (make faults-smartbft SMARTBFT_SEEDS=200)
+faults-smartbft:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults \
+		--seeds $(SMARTBFT_SEEDS) --profile smartbft \
+		--out $(SMARTBFT_OUT)
 
 ## opt-in deep exploration: make faults-explore SEEDS=500
 faults-explore:

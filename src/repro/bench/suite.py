@@ -625,3 +625,56 @@ def kernel_speed_bench(ctx: BenchContext) -> Dict[str, float]:
         "events_processed": float(result.events_processed),
         "events_per_sim_s": result.events_per_sim_second,
     }
+
+# ----------------------------------------------------------------------
+# Bake-off: all four ordering backends on one workload
+# ----------------------------------------------------------------------
+@REGISTRY.register(
+    name="bakeoff_orderers",
+    description="Four-backend bake-off (solo / Kafka / BFT-SMaRt / "
+    "SmartBFT) on one Figure-7-style workload, with dissemination "
+    "bandwidth -- bytes on the wire from the ordering service to its "
+    "delivery clients per committed block -- as the first-class "
+    "metric (docs/SMARTBFT.md).",
+    matrix={
+        "orderer": ("solo", "kafka", "bftsmart", "smartbft"),
+        # f sizes the BFT group (n = 3f+1); the CFT backends ignore it,
+        # their rows document that the CFT cost does not scale with n
+        "f": (1, 3),
+        "envelopes": (96,),
+        "envelope_size": (1024,),
+        "block_size": (10,),
+    },
+    smoke_matrix={
+        "orderer": ("solo", "kafka", "bftsmart", "smartbft"),
+        "f": (1, 3),
+        "envelopes": (40,),
+        "envelope_size": (1024,),
+        "block_size": (10,),
+    },
+    directions={
+        "dissemination_bytes_per_block": "lower",
+        "dissemination_bytes": "lower",
+        "blocks": "higher",
+    },
+    tags=("bakeoff", "lan", "smartbft"),
+)
+def bakeoff_orderers(ctx: BenchContext) -> Dict[str, float]:
+    from repro.ordering.backends import WorkloadSpec, run_backend_workload
+
+    spec = WorkloadSpec(
+        num_envelopes=ctx["envelopes"],
+        payload_size=ctx["envelope_size"],
+        block_size=ctx["block_size"],
+        f=ctx["f"],
+        seed=ctx.seed,
+    )
+    run = run_backend_workload(ctx["orderer"], spec)
+    blocks = len(run.committed_blocks)
+    return {
+        "dissemination_bytes_per_block": (
+            run.dissemination_bytes / blocks if blocks else 0.0
+        ),
+        "dissemination_bytes": float(run.dissemination_bytes),
+        "blocks": float(blocks),
+    }

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.crypto.keys import KeyRegistry
 from repro.fabric.api import BlockDelivery, BlockRequest, BlockResponse, CommitEvent
 from repro.fabric.block import Block
+from repro.fabric.blockpolicy import BlockValidityPolicy, SignatureCountPolicy
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope, Transaction, Version
 from repro.fabric.ledger import Ledger
@@ -134,6 +135,7 @@ class CommittingPeer:
         orderer_names: Optional[Set[str]] = None,
         required_block_signatures: int = 0,
         policy_for: Optional[Callable[[Envelope], EndorsementPolicy]] = None,
+        block_policy: Optional[BlockValidityPolicy] = None,
     ):
         self.sim = sim
         self.network = network
@@ -142,6 +144,14 @@ class CommittingPeer:
         self.registry = registry
         self.orderer_names = orderer_names or set()
         self.required_block_signatures = required_block_signatures
+        #: per-backend block-validity policy; the legacy
+        #: ``required_block_signatures`` knob converts to the BFT-SMaRt
+        #: signature-count policy for backward compatibility
+        self.block_policy = block_policy or SignatureCountPolicy(
+            required_block_signatures,
+            registry=registry,
+            orderer_names=self.orderer_names,
+        )
         self.ledger = Ledger(config.channel_id)
         self.state = VersionedKVStore()
         self._policy_for = policy_for or (lambda _env: config.endorsement_policy)
@@ -247,21 +257,8 @@ class CommittingPeer:
                 self.receive_block(block)
 
     def _block_signatures_ok(self, block: Block) -> bool:
-        """Check f+1-style block signatures when configured to."""
-        if self.required_block_signatures <= 0:
-            return True
-        if self.registry is None:
-            return len(block.signatures) >= self.required_block_signatures
-        payload = block.header.signing_payload()
-        valid = 0
-        for signer, signature in sorted(block.signatures.items()):
-            if self.orderer_names and signer not in self.orderer_names:
-                continue
-            if signer not in self.registry:
-                continue
-            if self.registry.verifier_of(signer).verify(payload, signature):
-                valid += 1
-        return valid >= self.required_block_signatures
+        """Delegate block trust to the backend's validity policy."""
+        return self.block_policy.check(block)
 
     def _notify_clients(self, record: CommitRecord) -> None:
         for envelope, code in zip(record.block.envelopes, record.codes):

@@ -299,6 +299,13 @@ class KafkaOrderer:
             self._ttc_pending = False
             if record.target_height == self.next_number and len(self.cutter) > 0:
                 self._create_block(self.cutter.cut())
+            elif len(self.cutter) > 0:
+                # stale TTC (a block was cut after it was produced); the
+                # still-pending partial batch needs a fresh timer
+                self._ttc_pending = True
+                self.sim.schedule(
+                    self.channel.batch_timeout, self._submit_ttc, self.next_number
+                )
             return
         batches = self.cutter.ordered(record)
         for batch in batches:
@@ -310,7 +317,19 @@ class KafkaOrderer:
             )
 
     def _submit_ttc(self, target: int) -> None:
-        if not self._ttc_pending or self.next_number != target:
+        if not self._ttc_pending:
+            return
+        if self.next_number != target:
+            # blocks were cut since this timer was armed; if a partial
+            # batch remains, restart the countdown at the current height
+            # (returning here with _ttc_pending still set used to wedge
+            # the tail of the stream forever)
+            if len(self.cutter) > 0:
+                self.sim.schedule(
+                    self.channel.batch_timeout, self._submit_ttc, self.next_number
+                )
+            else:
+                self._ttc_pending = False
             return
         ttc = TimeToCut(self.channel.channel_id, target)
         produce = Produce(ttc, 24)

@@ -46,11 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulated time when all faults heal (default 3.0)")
     parser.add_argument("--deadline", type=float, default=60.0,
                         help="simulated-time liveness budget (default 60.0)")
-    parser.add_argument("--profile", choices=("default", "recovery"),
+    parser.add_argument("--profile", choices=("default", "recovery", "smartbft"),
                         default="default",
-                        help="schedule space: 'default' (historical kinds) or "
+                        help="schedule space: 'default' (historical kinds), "
                         "'recovery' (amnesiac crash_restart + storage faults "
-                        "against durable-WAL replicas; see docs/RECOVERY.md)")
+                        "against durable-WAL replicas; see docs/RECOVERY.md), "
+                        "or 'smartbft' (leader censorship + message/crash "
+                        "faults against the SmartBFT backend; see "
+                        "docs/SMARTBFT.md)")
     parser.add_argument("--shrink", action="store_true",
                         help="minimize failing schedules by event removal")
     parser.add_argument("--trace", action="store_true",

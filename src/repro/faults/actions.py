@@ -401,6 +401,40 @@ class CensorClient(FilterFault):
         return f"censor client={self.client_id} at={self.at}"
 
 
+class CensorClients(FaultAction):
+    """A SmartBFT node silently ignores requests from ``client_ids``.
+
+    Unlike :class:`CensorClient` (a network filter around a BFT-SMaRt
+    leader), this flips the ``censor_clients`` switch of a
+    :class:`repro.smart2.node.SmartFaultControls`: the node drops the
+    clients' requests *at ingest*, whether submitted directly or
+    forwarded by a peer.  Follower censorship timers plus the rotation
+    blacklist must defeat it.
+    """
+
+    def __init__(self, replica_id, client_ids: Iterable):
+        self.replica_id = replica_id
+        self.client_ids = frozenset(client_ids)
+
+    def start(self, ctx) -> None:
+        replica = ctx.replica(self.replica_id)
+        if replica is None:
+            raise ValueError(
+                f"CensorClients needs replica {self.replica_id!r} "
+                "registered with the injector"
+            )
+        replica.faults.censor_clients |= self.client_ids
+
+    def stop(self, ctx) -> None:
+        replica = ctx.replica(self.replica_id)
+        if replica is not None:
+            replica.faults.censor_clients -= self.client_ids
+
+    def describe(self) -> str:
+        clients = sorted(self.client_ids)
+        return f"censor-clients replica={self.replica_id} clients={clients}"
+
+
 class Partition(FaultAction):
     """Split the group: block all links between members of different
     groups, restoring exactly those links on stop."""

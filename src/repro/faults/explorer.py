@@ -23,6 +23,7 @@ from repro.crypto.hashing import sha256_hex
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope
 from repro.faults.actions import (
+    CensorClients,
     CorruptWrites,
     CrashReplica,
     Delay,
@@ -43,7 +44,11 @@ from repro.faults.invariants import (
 )
 from repro.faults.scenario import FaultEvent, Scenario
 from repro.smart.view import bft_group_size
-from repro.ordering.service import OrderingServiceConfig, build_ordering_service
+from repro.ordering.service import (
+    FRONTEND_ID_BASE,
+    OrderingServiceConfig,
+    build_ordering_service,
+)
 from repro.sim.randomness import RandomStreams
 
 
@@ -72,7 +77,10 @@ class ExplorerConfig:
     #: "default" keeps the historical schedule space (byte-identical
     #: seeds); "recovery" samples amnesiac crash_restart + storage
     #: faults against a durable-WAL deployment and additionally checks
-    #: the no-equivocation-by-amnesia invariant (docs/RECOVERY.md)
+    #: the no-equivocation-by-amnesia invariant (docs/RECOVERY.md);
+    #: "smartbft" runs the same invariants against the SmartBFT backend
+    #: (repro.smart2), sampling leader censorship alongside the message
+    #: and crash faults (docs/SMARTBFT.md)
     profile: str = "default"
 
     @property
@@ -132,11 +140,32 @@ RECOVERY_KINDS = (
 )
 
 
+#: Fault kinds of the smartbft profile.  ``censor`` is the profile's
+#: signature Byzantine fault (the leader-side request censorship the
+#: rotation blacklist exists to defeat); the BFT-SMaRt-specific
+#: Byzantine kinds (``equivocate``/``corrupt-writes`` forge Propose and
+#: Write messages SmartBFT never sends) are excluded.  Amnesiac
+#: restarts are exercised by the smart2 unit tests -- SmartBFT recovers
+#: by peer state transfer, not WAL replay, so the vote-equivocation
+#: machinery has nothing to record.
+SMARTBFT_KINDS = (
+    "drop",
+    "delay",
+    "duplicate",
+    "reorder",
+    "crash",
+    "partition",
+    "censor",
+)
+
+
 def sample_schedule(seed: int, cfg: Optional[ExplorerConfig] = None) -> List[FaultEvent]:
     """Derive a fault schedule deterministically from ``seed``."""
     cfg = cfg or ExplorerConfig()
     if cfg.profile == "recovery":
         return _sample_recovery_schedule(seed, cfg)
+    if cfg.profile == "smartbft":
+        return _sample_smartbft_schedule(seed, cfg)
     rng = RandomStreams(seed).stream("fault-schedule")
     n = cfg.n
     count = rng.randint(cfg.min_events, cfg.max_events)
@@ -254,6 +283,70 @@ def _sample_recovery_schedule(seed: int, cfg: ExplorerConfig) -> List[FaultEvent
     return events
 
 
+def _sample_smartbft_schedule(seed: int, cfg: ExplorerConfig) -> List[FaultEvent]:
+    """Schedules against the SmartBFT backend (a separate stream, so
+    the default profile's seeds stay byte-identical).
+
+    Every schedule opens with a ``censor`` event -- a node silently
+    dropping one frontend's requests, the fault SmartBFT's leader
+    rotation and censorship blacklist are built to survive -- followed
+    by message- and crash-level noise.  ``censor`` and ``crash`` are
+    each sampled at most once, keeping within the f=1 fault budget.
+    """
+    rng = RandomStreams(seed).stream("fault-schedule/smartbft")
+    n = cfg.n
+    count = rng.randint(cfg.min_events, cfg.max_events)
+    crash_used = split_used = censor_used = False
+    events: List[FaultEvent] = []
+    for index in range(count):
+        kind = "censor" if index == 0 else rng.choice(SMARTBFT_KINDS)
+        at = round(rng.uniform(*cfg.fault_window), 3)
+        duration = round(rng.uniform(0.4, 1.5), 3)
+        if kind == "censor" and censor_used:
+            kind = "delay"
+        if kind == "crash" and crash_used:
+            kind = "delay"
+        if kind == "partition" and split_used:
+            kind = "delay"
+
+        if kind == "drop":
+            src, dst = rng.sample(range(n), 2)
+            rate = round(rng.uniform(0.3, 0.9), 2)
+            action = Drop(Match(src=src, dst=dst), rate=rate, stream=f"drop-{index}")
+        elif kind == "delay":
+            src, dst = rng.sample(range(n), 2)
+            delay = round(rng.uniform(0.02, 0.15), 3)
+            action = Delay(Match(src=src, dst=dst), delay=delay)
+        elif kind == "duplicate":
+            src, dst = rng.sample(range(n), 2)
+            copies = rng.randint(2, 3)
+            action = Duplicate(Match(src=src, dst=dst), copies=copies, spacing=0.004)
+        elif kind == "reorder":
+            src, dst = rng.sample(range(n), 2)
+            delay = round(rng.uniform(0.01, 0.06), 3)
+            rate = round(rng.uniform(0.4, 1.0), 2)
+            action = Reorder(
+                Match(src=src, dst=dst), delay=delay, rate=rate,
+                stream=f"reorder-{index}",
+            )
+        elif kind == "crash":
+            crash_used = True
+            action = CrashReplica(rng.randrange(n))
+        elif kind == "partition":
+            split_used = True
+            size = rng.randint(1, n // 2)
+            isolated = sorted(rng.sample(range(n), size))
+            rest = [p for p in range(n) if p not in isolated]
+            action = Partition(isolated, rest)
+        else:  # censor
+            censor_used = True
+            client = FRONTEND_ID_BASE + rng.randrange(cfg.num_frontends)
+            action = CensorClients(rng.randrange(n), {client})
+        events.append(FaultEvent(at=at, action=action, duration=duration))
+    events.sort(key=lambda e: e.at)
+    return events
+
+
 def run_schedule(
     seed: int, events: List[FaultEvent], cfg: Optional[ExplorerConfig] = None
 ) -> RunResult:
@@ -263,6 +356,7 @@ def run_schedule(
     durable = cfg.profile == "recovery"
     service = build_ordering_service(
         OrderingServiceConfig(
+            orderer="smartbft" if cfg.profile == "smartbft" else "bftsmart",
             f=cfg.f,
             channel=ChannelConfig(
                 cfg.channel,

@@ -43,6 +43,9 @@ ADMIN_ID_BASE = 3000
 class OrderingServiceConfig:
     """Everything needed to stand up one deployment."""
 
+    #: which BFT ordering backend to build: "bftsmart" (the paper's
+    #: service) or "smartbft" (the successor design, repro.smart2)
+    orderer: str = "bftsmart"
     f: int = 1
     delta: int = 0
     vmax_holders: Optional[Sequence[int]] = None
@@ -279,6 +282,14 @@ def build_ordering_service(
     deployment emits metrics and consensus spans as it runs.
     """
     config = config or OrderingServiceConfig()
+    if config.orderer == "smartbft":
+        from repro.smart2.deployment import build_smartbft_service
+
+        return build_smartbft_service(config, sim=sim, observability=observability)
+    if config.orderer != "bftsmart":
+        raise ValueError(
+            f"unknown orderer {config.orderer!r}; expected 'bftsmart' or 'smartbft'"
+        )
     sim = sim or Simulator()
     streams = RandomStreams(config.seed)
     latency = config.latency or ConstantLatency(0.0001)

@@ -1,0 +1,274 @@
+"""The SmartBFT frontend: single signed copies instead of copy matching.
+
+Where the BFT-SMaRt frontend (:class:`repro.ordering.frontend.Frontend`)
+waits for ``2f+1`` matching block *copies*, this frontend subscribes to
+ONE ordering node and trusts a delivered block iff it carries a valid
+``2f+1`` signature quorum -- the block's own metadata proves consensus,
+so dissemination bandwidth drops from ``n`` full copies to one copy
+plus ``2f+1`` signatures (the bake-off in ``docs/SMARTBFT.md``
+quantifies this).
+
+Liveness against a crashed or censoring node comes from rotation: an
+envelope not committed within ``request_timeout`` is resubmitted to the
+next node, and a subscription that stops delivering while work is
+outstanding fails over to the next node (re-synchronising through the
+consensus sequence number).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.crypto.keys import KeyRegistry
+from repro.fabric.api import BlockDelivery, SubmitEnvelope
+from repro.fabric.block import Block
+from repro.fabric.envelope import Envelope, check_payload_size
+from repro.sim.core import Simulator
+from repro.sim.monitor import StatsRegistry
+from repro.sim.network import Network
+from repro.smart.messages import ClientRequest
+from repro.smart.view import View
+from repro.smart2.messages import Subscribe
+
+
+class QuorumFrontend:
+    """One frontend of the SmartBFT-style ordering service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: int,
+        view: View,
+        registry: Optional[KeyRegistry] = None,
+        node_names: Optional[Dict[int, str]] = None,
+        stats: Optional[StatsRegistry] = None,
+        max_envelope_bytes: Optional[Union[int, Mapping[str, int]]] = None,
+        request_timeout: float = 2.0,
+    ):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.view = view
+        self.f = view.f
+        self.registry = registry
+        #: ordering node id -> enrolled identity name
+        self.node_names = dict(node_names or {})
+        self.orderer_names: Set[str] = set(self.node_names.values())
+        self._id_by_name = {v: k for k, v in self.node_names.items()}
+        self.stats = stats or StatsRegistry()
+        self.max_envelope_bytes = max_envelope_bytes
+        self.request_timeout = request_timeout
+        #: same observability shape as the BFT-SMaRt frontend, whose
+        #: hub attaches to ``frontend.proxy`` as well
+        self.proxy = self
+        self.obs = None
+        self.peers: List[object] = []
+        self.on_block: List[Callable[[Block], None]] = []
+
+        self._nodes = list(view.processes)
+        self._home = self._nodes[self.name % len(self._nodes)]
+        self._subscribed_index = self._nodes.index(self._home)
+
+        self._sequence = 0
+        #: rid -> (request, submitted_at, rotation offset)
+        self._outstanding: Dict[Tuple[int, int], Tuple[ClientRequest, float, int]] = {}
+        self._rid_by_env: Dict[int, Tuple[int, int]] = {}
+        self._next_expected: Dict[str, int] = {}
+        self._future: Dict[str, Dict[int, Block]] = {}
+        self._delivered_count = 0
+        self._last_delivery = 0.0
+        self._timer_armed = False
+
+        self.envelopes_submitted = 0
+        self.blocks_delivered = 0
+        self.rejected_blocks = 0
+        self.resubmissions = 0
+        self.failovers = 0
+        self.delivered_digests: Dict[str, List[bytes]] = {}
+
+        self._blocks_meter = None
+        self._envelopes_meter = None
+        self._latency_recorder = None
+
+    def start(self) -> None:
+        """Open the block subscription (call after network registration)."""
+        subscribe = Subscribe(sender=self.name, next_seq=self._delivered_count)
+        self.network.send(
+            self.name,
+            self._nodes[self._subscribed_index],
+            subscribe,
+            subscribe.wire_size(),
+        )
+
+    # ------------------------------------------------------------------
+    def attach_peer(self, peer_id: object) -> None:
+        if peer_id not in self.peers:
+            self.peers.append(peer_id)
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(self, envelope: Envelope) -> None:
+        """Send an envelope to the ordering cluster (fire-and-forget).
+
+        Raises :class:`~repro.fabric.envelope.OversizedPayloadError`
+        when the payload exceeds the channel's AbsoluteMaxBytes ceiling
+        -- same contract as the BFT-SMaRt frontend.
+        """
+        ceiling = self.max_envelope_bytes
+        if ceiling is not None:
+            if not isinstance(ceiling, int):
+                ceiling = ceiling.get(envelope.channel_id)
+            if ceiling is not None:
+                check_payload_size(envelope.payload_ref(), ceiling)
+        if envelope.create_time is None:
+            envelope.create_time = self.sim.now
+        self.envelopes_submitted += 1
+        if self.obs is not None:
+            self.obs.on_submit(self.name, envelope, self.sim.now)
+        request = ClientRequest(
+            client_id=self.name,
+            sequence=self._sequence,
+            operation=envelope,
+            size_bytes=envelope.payload_size,
+            submit_time=self.sim.now,
+        )
+        self._sequence += 1
+        self._outstanding[request.request_id] = (request, self.sim.now, 0)
+        self._rid_by_env[envelope.envelope_id] = request.request_id
+        self.network.send(self.name, self._home, request, request.wire_size())
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if self._timer_armed:
+            return
+        self._timer_armed = True
+        self.sim.schedule(self.request_timeout, self._retry_tick)
+
+    def _retry_tick(self) -> None:
+        self._timer_armed = False
+        if not self._outstanding:
+            return
+        now = self.sim.now
+        n = len(self._nodes)
+        for rid in sorted(self._outstanding):
+            request, submitted_at, offset = self._outstanding[rid]
+            if now - submitted_at < self.request_timeout:
+                continue
+            # rotate: a crashed or censoring node never commits it, the
+            # next one forwards it to whichever leader is current
+            offset += 1
+            target = self._nodes[(self._nodes.index(self._home) + offset) % n]
+            self._outstanding[rid] = (request, now, offset)
+            self.resubmissions += 1
+            self.network.send(self.name, target, request, request.wire_size())
+        if now - self._last_delivery > self.request_timeout:
+            # the subscription went quiet while work is outstanding:
+            # fail over to the next node and re-sync by sequence
+            self._subscribed_index = (self._subscribed_index + 1) % n
+            self.failovers += 1
+            subscribe = Subscribe(sender=self.name, next_seq=self._delivered_count)
+            self.network.send(
+                self.name,
+                self._nodes[self._subscribed_index],
+                subscribe,
+                subscribe.wire_size(),
+            )
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    # delivery side
+    # ------------------------------------------------------------------
+    def deliver(self, src, message) -> None:
+        if isinstance(message, SubmitEnvelope):
+            self.submit(message.envelope)
+        elif isinstance(message, BlockDelivery):
+            self.on_block_copy(message.source, message.block)
+
+    def on_block_copy(self, source: str, block: Block) -> None:
+        if self.orderer_names and source not in self.orderer_names:
+            return
+        if not self._quorum_ok(block):
+            self.rejected_blocks += 1
+            return
+        channel = block.channel_id
+        number = block.header.number
+        if self.obs is not None:
+            self.obs.on_block_copy(self.name, channel, number, self.sim.now)
+        expected = self._next_expected.get(channel, 0)
+        if number < expected:
+            return  # duplicate (e.g. overlap after a failover re-sync)
+        if number > expected:
+            # a predecessor was dropped in flight; park the block, the
+            # failover re-sync backfills the gap
+            self._future.setdefault(channel, {})[number] = block
+            return
+        self._accept_block(block)
+        ready = self._future.get(channel, {})
+        while self._next_expected.get(channel, 0) in ready:
+            self._accept_block(ready.pop(self._next_expected[channel]))
+
+    def _quorum_ok(self, block: Block) -> bool:
+        """Does the block carry a valid Byzantine-majority quorum?"""
+        if self.registry is None:
+            return False
+        payload = block.header.signing_payload()
+        signers = set()
+        for name, signature in sorted(block.signatures.items()):
+            node_id = self._id_by_name.get(name)
+            if node_id is None or name not in self.registry:
+                continue
+            if self.registry.verifier_of(name).verify(payload, signature):
+                signers.add(node_id)
+        return self.view.has_quorum(signers)
+
+    def _accept_block(self, block: Block) -> None:
+        channel = block.channel_id
+        self._next_expected[channel] = block.header.number + 1
+        self._delivered_count += 1
+        self._last_delivery = self.sim.now
+        self.blocks_delivered += 1
+        for envelope in block.envelopes:
+            rid = self._rid_by_env.pop(envelope.envelope_id, None)
+            if rid is not None:
+                self._outstanding.pop(rid, None)
+        if self.obs is not None:
+            self.obs.on_block_delivered(self.name, block, self.sim.now)
+        self.delivered_digests.setdefault(channel, []).append(block.header.digest())
+        self._record_stats(block)
+        delivery = BlockDelivery(block=block, source=self.name)
+        self.network.broadcast(self.name, self.peers, delivery, delivery.wire_size())
+        for callback in self.on_block:
+            callback(block)
+
+    def ledger_digest(self, channel: Optional[str] = None) -> bytes:
+        """Running hash over the delivered block-digest chain.
+
+        Identical fold to the BFT-SMaRt frontend, so cross-backend
+        agreement can be asserted digest-for-digest.
+        """
+        from repro.crypto.hashing import sha256
+
+        channels = (
+            [channel] if channel is not None else sorted(self.delivered_digests)
+        )
+        acc = b""
+        for name in channels:
+            for digest in self.delivered_digests.get(name, []):
+                acc = sha256("ledger", acc, name, digest)
+        return acc
+
+    def _record_stats(self, block: Block) -> None:
+        now = self.sim.now
+        blocks = self._blocks_meter
+        if blocks is None:
+            blocks = self._blocks_meter = self.stats.meter(f"{self.name}.blocks")
+            self._envelopes_meter = self.stats.meter(f"{self.name}.envelopes")
+            self._latency_recorder = self.stats.latency(f"{self.name}.latency")
+        blocks.record(now, 1.0)
+        self._envelopes_meter.record(now, float(len(block.envelopes)))
+        latency = self._latency_recorder
+        for envelope in block.envelopes:
+            if envelope.create_time is not None:
+                latency.record(now - envelope.create_time)
