@@ -20,11 +20,18 @@ CANDIDATE ?= BENCH_smoke.json
 TOLERANCE ?= 0.05
 KERNEL_BASELINE ?= benchmarks/baselines/BENCH_kernel.json
 
+# experiment report / sweep knobs (see docs/BENCHMARKS.md)
+REPORT_INPUTS ?= $(BASELINE) $(CANDIDATE)
+REPORT_NAMES ?= baseline,candidate
+REPORT_OUT ?= bench-report.md
+REPORT_JSON ?= bench-report.json
+SPEC ?= benchmarks/specs/bakeoff.toml
+
 # protocol-aware analysis knobs (see docs/ANALYSIS.md)
 ANALYZE_OUT ?= analysis-report.json
 DETSAN_OUT ?= detsan-report.json
 
-.PHONY: test lint analyze detsan ci faults-smoke faults-explore faults-recovery faults-smartbft bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline
+.PHONY: test lint analyze detsan ci faults-smoke faults-explore faults-recovery faults-smartbft bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline bench-report bench-sweep
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
@@ -48,7 +55,7 @@ detsan:
 		--json $(DETSAN_OUT)
 
 ## everything CI's per-commit job runs, in order
-ci: lint analyze test faults-smoke faults-recovery faults-smartbft bench-smoke bench-check bench-kernel
+ci: lint analyze test faults-smoke faults-recovery faults-smartbft bench-smoke bench-check bench-kernel bench-report
 
 ## quick confidence check: 5 explorer seeds (runs in seconds)
 faults-smoke:
@@ -114,3 +121,17 @@ bench-kernel-baseline:
 bench-full:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench run \
 		--name full --out BENCH_full.json
+
+## N-way experiment report: statistical ranking over result files
+## (pairwise Mann-Whitney U + A12, rank-by-median, Nemenyi CD)
+## usage: make bench-report [REPORT_INPUTS="a.json b.json"] [REPORT_NAMES=a,b]
+bench-report:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench report \
+		$(REPORT_INPUTS) --names $(REPORT_NAMES) \
+		--out $(REPORT_OUT) --json $(REPORT_JSON)
+
+## declarative sweep: expand + run a TOML experiment spec
+## usage: make bench-sweep [SPEC=benchmarks/specs/bakeoff.toml] [SMOKE=1]
+bench-sweep:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.bench run \
+		--spec $(SPEC)$(if $(SMOKE), --smoke,)

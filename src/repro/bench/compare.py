@@ -3,7 +3,9 @@
 Fuzzbench-style regression gating over the JSON documents that
 :mod:`repro.bench.harness` writes: load a stored *baseline*, load a
 fresh *candidate*, match (benchmark, matrix point, metric) triples, and
-decide per metric whether the candidate regressed.
+decide per metric whether the candidate regressed.  The rank / U-test /
+effect-size kernels live in :mod:`repro.bench.stats`, shared with the
+N-way ranking engine (:mod:`repro.bench.report`).
 
 Decision rule, per metric:
 
@@ -30,6 +32,19 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.bench.stats import a12, mann_whitney_u
+
+__all__ = [
+    "MIN_SAMPLES_FOR_TEST",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_ALPHA",
+    "mann_whitney_u",  # re-exported from repro.bench.stats (the shared kernel)
+    "MetricComparison",
+    "CompareReport",
+    "compare_results",
+    "gate",
+]
+
 #: Minimum per-side repeats before the Mann-Whitney test is consulted.
 MIN_SAMPLES_FOR_TEST = 5
 
@@ -38,56 +53,6 @@ DEFAULT_TOLERANCE = 0.05
 
 #: Default significance level for the Mann-Whitney test.
 DEFAULT_ALPHA = 0.05
-
-
-def _rankdata(values: Sequence[float]) -> List[float]:
-    """Ranks (1-based) with ties assigned their average rank."""
-    order = sorted(range(len(values)), key=lambda i: values[i])
-    ranks = [0.0] * len(values)
-    i = 0
-    while i < len(order):
-        j = i
-        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
-            j += 1
-        average = (i + j) / 2.0 + 1.0
-        for k in range(i, j + 1):
-            ranks[order[k]] = average
-        i = j + 1
-    return ranks
-
-
-def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
-    """Two-sided Mann-Whitney U test, normal approximation with tie
-    correction and continuity correction.
-
-    Returns ``(U, p_value)`` where ``U`` is the statistic of sample
-    ``a``.  Identical samples (zero rank variance) give ``p = 1.0``.
-    """
-    n1, n2 = len(a), len(b)
-    if n1 == 0 or n2 == 0:
-        raise ValueError("both samples must be non-empty")
-    combined = list(a) + list(b)
-    ranks = _rankdata(combined)
-    r1 = sum(ranks[:n1])
-    u1 = r1 - n1 * (n1 + 1) / 2.0
-    mu = n1 * n2 / 2.0
-    n = n1 + n2
-    # tie correction to the variance
-    tie_term = 0.0
-    seen: Dict[float, int] = {}
-    for value in combined:
-        seen[value] = seen.get(value, 0) + 1
-    for count in seen.values():
-        tie_term += count**3 - count
-    sigma_sq = (n1 * n2 / 12.0) * ((n + 1) - tie_term / (n * (n - 1)))
-    if sigma_sq <= 0:
-        return u1, 1.0
-    # continuity correction toward the mean
-    z = (u1 - mu - math.copysign(0.5, u1 - mu)) / math.sqrt(sigma_sq)
-    if u1 == mu:
-        z = 0.0
-    p = math.erfc(abs(z) / math.sqrt(2.0))
-    return u1, min(1.0, p)
 
 
 @dataclass
@@ -103,6 +68,10 @@ class MetricComparison:
     candidate_median: Optional[float] = None
     delta_relative: Optional[float] = None
     p_value: Optional[float] = None
+    #: Vargha-Delaney A12 of the candidate sample over the baseline
+    #: sample (probability a candidate repeat exceeds a baseline
+    #: repeat); only computed when both sides are testable.
+    effect_a12: Optional[float] = None
     detail: str = ""
     #: per-phase deltas when both sides carry a ``phases`` breakdown
     #: (``--phases`` runs) and this metric regressed: maps phase label
@@ -121,6 +90,8 @@ class MetricComparison:
             else f"{self.delta_relative * +100:+.1f}%"
         )
         p = "" if self.p_value is None else f", p={self.p_value:.4f}"
+        if self.effect_a12 is not None:
+            p += f", A12={self.effect_a12:.2f}"
         line = (
             f"{head}: {self.baseline_median:.6g} -> "
             f"{self.candidate_median:.6g} ({delta}{p}, {self.direction} is better)"
@@ -186,6 +157,7 @@ class CompareReport:
                     "candidate_median": c.candidate_median,
                     "delta_relative": c.delta_relative,
                     "p_value": c.p_value,
+                    "effect_a12": c.effect_a12,
                     "detail": c.detail,
                     "phase_deltas": c.phase_deltas,
                 }
@@ -361,6 +333,7 @@ def _compare_metric(
     if testable:
         _, p_value = mann_whitney_u(base_values, cand_values)
         result.p_value = p_value
+        result.effect_a12 = a12(cand_values, base_values)
         if worse and p_value >= alpha:
             # the median moved, but the distributions are not
             # distinguishable: treat as noise

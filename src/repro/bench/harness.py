@@ -639,6 +639,77 @@ def load_result(path: str) -> Dict[str, Any]:
     return document
 
 
+# ----------------------------------------------------------------------
+# Regression history snapshots
+# ----------------------------------------------------------------------
+#: Default cap on retained history snapshots (~a month of nightlies).
+HISTORY_CAP = 30
+
+
+def _history_snapshot_name(document: Mapping[str, Any]) -> str:
+    """``<UTC stamp>-<run name>.json`` — filename order is run order."""
+    stamp = time.strftime(
+        "%Y%m%dT%H%M%SZ",
+        time.gmtime(float(document["created_unix"])),  # repro: allow[DET001] host-side tooling formats a recorded stamp
+    )
+    run_name = str(document.get("run_name") or "run")
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in run_name)
+    return f"{stamp}-{safe}"
+
+
+def append_history(
+    result_path: str, history_dir: str, cap: int = HISTORY_CAP
+) -> str:
+    """Snapshot a result document into the regression-history directory.
+
+    The snapshot is named from the run's ``created_unix`` timestamp so
+    lexicographic filename order is chronological order — which is what
+    :func:`load_history` and the report's sparklines rely on.  After
+    appending, the oldest snapshots beyond ``cap`` are pruned.  Returns
+    the snapshot path.
+    """
+    if cap < 1:
+        raise ValueError("history cap must be >= 1")
+    document = load_result(result_path)
+    os.makedirs(history_dir, exist_ok=True)
+    base = _history_snapshot_name(document)
+    path = os.path.join(history_dir, f"{base}.json")
+    suffix = 1
+    while os.path.exists(path):
+        # "~N" sorts after ".json" so same-second snapshots keep their
+        # append order under the lexicographic == chronological rule
+        path = os.path.join(history_dir, f"{base}~{suffix}.json")
+        suffix += 1
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=False, allow_nan=False)
+        fh.write("\n")
+    snapshots = sorted(
+        name for name in os.listdir(history_dir) if name.endswith(".json")
+    )
+    for stale in snapshots[: max(0, len(snapshots) - cap)]:
+        os.remove(os.path.join(history_dir, stale))
+    return path
+
+
+def load_history(
+    history_dir: str, limit: Optional[int] = None
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Load history snapshots as ``(filename, document)`` pairs, oldest
+    first (filename order); at most the newest ``limit`` when given.
+    Schema-invalid files raise — history is append-only through
+    :func:`append_history`, so damage should be loud, not skipped."""
+    if not os.path.isdir(history_dir):
+        return []
+    names = sorted(
+        name for name in os.listdir(history_dir) if name.endswith(".json")
+    )
+    if limit is not None and limit >= 0:
+        names = names[len(names) - min(limit, len(names)):]
+    return [
+        (name, load_result(os.path.join(history_dir, name))) for name in names
+    ]
+
+
 def render_result(result: BenchmarkResult) -> str:
     """Generic ASCII table: one row per matrix point, medians only."""
     lines = [f"{result.benchmark} [{result.mode}]"]

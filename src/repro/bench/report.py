@@ -1,0 +1,865 @@
+"""Fuzzbench-style N-way experiment reports over bench result JSON.
+
+Where :mod:`repro.bench.compare` answers "did *this one* run regress
+against *that one* baseline?", this module answers the evaluation
+question the paper (and the SmartBFT bake-off after it) is built on:
+**given N variants — orderers, configs, commits — which is best, where,
+and is the difference statistically real?**
+
+Inputs are ``repro-bench-result/1`` documents.  Variants come from one
+of two groupings:
+
+- *files as variants*: N result files, one variant each (named by the
+  document's ``run_name``, overridable with ``--names``) — ranking
+  whole runs against each other, e.g. baseline vs candidate or one
+  file per backend;
+- *axis as variants* (``--by AXIS``): one result file whose benchmark
+  matrices carry the axis (e.g. ``orderer``) — every matrix point
+  splits into one variant per axis value, which turns the committed
+  ``bakeoff_orderers`` benchmark into a four-backend ranking with no
+  extra runs.
+
+The comparable *unit* is one ``(benchmark, matrix point, metric)``
+triple.  Per unit the report computes the pairwise two-sided
+Mann–Whitney U matrix and Vargha–Delaney A12 effect sizes over the
+per-repeat samples; units measured for **every** variant additionally
+get direction-aware rank-by-median ranks (best = 1).  Mean ranks over
+all complete units give the overall ranking, summarized with the
+Nemenyi critical difference (:mod:`repro.bench.stats`).
+
+Per-phase latency tables are sourced from the ``phases`` breakdowns the
+obs pipeline embeds in result points (rendered through
+:func:`repro.obs.export.render_phase_table`), and a regression-history
+section renders sparklines of per-unit medians over the snapshots
+accumulated under ``benchmarks/history/`` (see
+:func:`repro.bench.harness.append_history`).
+
+Output is deterministic markdown (byte-identical for identical inputs;
+no timestamps, stable ordering, fixed float formatting) plus a
+machine-readable ``repro-bench-report/1`` JSON document.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.harness import load_result
+from repro.bench.stats import (
+    a12,
+    a12_magnitude,
+    cd_groups,
+    critical_difference,
+    mann_whitney_u,
+    mean_ranks,
+    rank_by_median,
+    sparkline,
+)
+
+#: Version tag of the report JSON documents.
+REPORT_SCHEMA = "repro-bench-report/1"
+
+#: Default significance level for the pairwise tests and the CD.
+DEFAULT_ALPHA = 0.05
+
+#: Detail (pairwise-matrix) sections rendered per benchmark before the
+#: report truncates with an explicit "omitted" note (``full_detail``
+#: lifts the cap).  The summary tables and the JSON always cover every
+#: unit — the cap only bounds the markdown's matrix blocks.
+MAX_DETAIL_UNITS = 20
+
+
+class ReportError(ValueError):
+    """The report inputs are unusable (bad grouping, no overlap)."""
+
+
+# ----------------------------------------------------------------------
+# Grouping: result documents -> variants -> units
+# ----------------------------------------------------------------------
+def _point_key(params: Mapping[str, Any]) -> Tuple:
+    return tuple(sorted((k, repr(v)) for k, v in params.items()))
+
+
+def _finite(values: Sequence[Any]) -> List[float]:
+    return [
+        float(v)
+        for v in values
+        if isinstance(v, (int, float)) and math.isfinite(v)
+    ]
+
+
+@dataclass
+class Unit:
+    """One comparable (benchmark, matrix point, metric) measurement."""
+
+    benchmark: str
+    params: Dict[str, Any]
+    metric: str
+    direction: str
+    #: variant -> finite per-repeat samples
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+    #: variant -> median-of-repeats (None when non-finite)
+    medians: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple:
+        return (self.benchmark, _point_key(self.params), self.metric)
+
+    def present(self) -> List[str]:
+        """Variants with a finite median, sorted."""
+        return sorted(v for v, m in self.medians.items() if m is not None)
+
+    def describe_params(self) -> str:
+        return ", ".join(f"{k}={v}" for k, v in self.params.items()) or "-"
+
+
+@dataclass
+class Grouping:
+    """Variants plus the units and phase breakdowns they cover."""
+
+    variants: List[str]
+    #: unit key -> Unit, insertion-ordered (document order)
+    units: Dict[Tuple, Unit]
+    #: (benchmark, point key) -> {"params": ..., "columns": {variant:
+    #: {phase label: samples}}} for points carrying a phases breakdown
+    phases: Dict[Tuple, Dict[str, Any]]
+    #: benchmark names in first-seen order (stable section ordering)
+    benchmark_order: List[str]
+    notes: List[str] = field(default_factory=list)
+
+
+def _ingest_document(
+    grouping: Grouping,
+    variant: str,
+    document: Mapping[str, Any],
+    strip_axis: Optional[str] = None,
+) -> None:
+    for bench in document["benchmarks"]:
+        name = bench["benchmark"]
+        if name not in grouping.benchmark_order:
+            grouping.benchmark_order.append(name)
+        skipped = 0
+        for point in bench["points"]:
+            params = dict(point["params"])
+            if strip_axis is not None:
+                if strip_axis not in params:
+                    skipped += 1
+                    continue
+                point_variant = str(params.pop(strip_axis))
+                if point_variant not in grouping.variants:
+                    grouping.variants.append(point_variant)
+            else:
+                point_variant = variant
+            pkey = _point_key(params)
+            for metric, summary in point["metrics"].items():
+                key = (name, pkey, metric)
+                unit = grouping.units.get(key)
+                if unit is None:
+                    unit = Unit(
+                        benchmark=name,
+                        params=params,
+                        metric=metric,
+                        direction=summary["direction"],
+                    )
+                    grouping.units[key] = unit
+                if point_variant in unit.samples:
+                    raise ReportError(
+                        f"variant {point_variant!r} measured twice at "
+                        f"{name}[{unit.describe_params()}] {metric}"
+                    )
+                unit.samples[point_variant] = _finite(summary["values"])
+                median = summary.get("median")
+                unit.medians[point_variant] = (
+                    float(median)
+                    if isinstance(median, (int, float)) and math.isfinite(median)
+                    else None
+                )
+            if "phases" in point and point["phases"]:
+                entry = grouping.phases.setdefault(
+                    (name, pkey), {"params": params, "columns": {}}
+                )
+                entry["columns"][point_variant] = point["phases"]
+        if skipped:
+            grouping.notes.append(
+                f"{name}: {skipped} matrix point(s) lack axis "
+                f"{strip_axis!r}, excluded from the {strip_axis} grouping"
+            )
+
+
+def group_by_files(
+    documents: Sequence[Tuple[str, Mapping[str, Any]]],
+) -> Grouping:
+    """One variant per result document; names must be unique."""
+    if len(documents) < 2:
+        raise ReportError(
+            "file-grouped reports need two or more result files "
+            "(use --by AXIS to split a single file along a matrix axis)"
+        )
+    names = [name for name, _ in documents]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ReportError(
+            f"duplicate variant names {duplicates}; pass --names to "
+            "disambiguate (e.g. --names baseline,candidate)"
+        )
+    grouping = Grouping(
+        variants=list(names), units={}, phases={}, benchmark_order=[]
+    )
+    for name, document in documents:
+        _ingest_document(grouping, name, document)
+    return grouping
+
+
+def group_by_axis(document: Mapping[str, Any], axis: str) -> Grouping:
+    """Split one document's points into variants along a matrix axis."""
+    grouping = Grouping(variants=[], units={}, phases={}, benchmark_order=[])
+    _ingest_document(grouping, "", document, strip_axis=axis)
+    if len(grouping.variants) < 2:
+        raise ReportError(
+            f"axis {axis!r} yields {len(grouping.variants)} variant(s); "
+            "an N-way report needs at least two"
+        )
+    grouping.variants.sort()
+    return grouping
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+@dataclass
+class PairwiseCell:
+    """One ordered variant pair's test results at one unit."""
+
+    a: str
+    b: str
+    p_value: float
+    effect_a12: float
+
+    @property
+    def magnitude(self) -> str:
+        return a12_magnitude(self.effect_a12)
+
+
+@dataclass
+class UnitAnalysis:
+    unit: Unit
+    #: ordered (a, b) pairs with a < b, both variants measured
+    pairwise: List[PairwiseCell]
+    #: per-variant rank (1 = best) when the unit covers every report
+    #: variant; None otherwise (excluded from the overall ranking)
+    ranks: Optional[Dict[str, float]]
+
+    @property
+    def min_p(self) -> Optional[float]:
+        return min((c.p_value for c in self.pairwise), default=None)
+
+    def best(self) -> List[str]:
+        """Variant(s) with the best median, direction-aware."""
+        finite = {v: m for v, m in self.unit.medians.items() if m is not None}
+        if not finite:
+            return []
+        pick = max if self.unit.direction == "higher" else min
+        target = pick(finite.values())
+        return sorted(v for v, m in finite.items() if m == target)
+
+
+@dataclass
+class RankingSummary:
+    variants: List[str]
+    total_units: int
+    complete_units: int
+    mean_ranks: Dict[str, float]
+    critical_diff: Optional[float]
+    groups: Optional[List[Tuple[str, ...]]]
+    #: units where the variant ranked strictly first, for color
+    wins: Dict[str, int]
+
+
+@dataclass
+class ExperimentReport:
+    variants: List[str]
+    alpha: float
+    sources: List[Dict[str, str]]
+    grouping_mode: str  # "files" or "axis:<name>"
+    benchmark_order: List[str]
+    units: List[UnitAnalysis]
+    ranking: RankingSummary
+    phases: Dict[Tuple, Dict[str, Any]]
+    history: Optional[Dict[str, Any]]
+    notes: List[str]
+
+
+def analyze(
+    grouping: Grouping,
+    alpha: float = DEFAULT_ALPHA,
+    sources: Optional[List[Dict[str, str]]] = None,
+    grouping_mode: str = "files",
+    history: Optional[Dict[str, Any]] = None,
+) -> ExperimentReport:
+    """Run the full statistical analysis over a grouping."""
+    if not grouping.units:
+        raise ReportError("no comparable units found in the inputs")
+    variants = list(grouping.variants)
+    analyses: List[UnitAnalysis] = []
+    per_unit_ranks: List[Dict[str, float]] = []
+    wins = {v: 0 for v in variants}
+    for unit in grouping.units.values():
+        present = unit.present()
+        pairwise: List[PairwiseCell] = []
+        for i, va in enumerate(present):
+            for vb in present[i + 1 :]:
+                sa, sb = unit.samples[va], unit.samples[vb]
+                if not sa or not sb:
+                    continue
+                _, p_value = mann_whitney_u(sa, sb)
+                pairwise.append(
+                    PairwiseCell(
+                        a=va, b=vb, p_value=p_value, effect_a12=a12(sa, sb)
+                    )
+                )
+        ranks: Optional[Dict[str, float]] = None
+        if set(present) == set(variants):
+            medians = {v: unit.medians[v] for v in variants}
+            ranks = rank_by_median(medians, unit.direction)
+            per_unit_ranks.append(ranks)
+            leaders = [v for v, r in ranks.items() if r == 1.0]
+            if len(leaders) == 1:
+                wins[leaders[0]] += 1
+        analyses.append(UnitAnalysis(unit=unit, pairwise=pairwise, ranks=ranks))
+
+    complete = len(per_unit_ranks)
+    ranks_avg = mean_ranks(per_unit_ranks) if complete else {}
+    cd = (
+        critical_difference(len(variants), complete, alpha)
+        if complete
+        else None
+    )
+    groups = cd_groups(ranks_avg, cd) if cd is not None and ranks_avg else None
+    ranking = RankingSummary(
+        variants=variants,
+        total_units=len(analyses),
+        complete_units=complete,
+        mean_ranks=ranks_avg,
+        critical_diff=cd,
+        groups=groups,
+        wins=wins,
+    )
+    return ExperimentReport(
+        variants=variants,
+        alpha=alpha,
+        sources=sources or [],
+        grouping_mode=grouping_mode,
+        benchmark_order=list(grouping.benchmark_order),
+        units=analyses,
+        ranking=ranking,
+        phases=grouping.phases,
+        history=history,
+        notes=list(grouping.notes),
+    )
+
+
+# ----------------------------------------------------------------------
+# History (sparkline) series
+# ----------------------------------------------------------------------
+def history_series(
+    snapshots: Sequence[Tuple[str, Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    """Per-unit median series over history snapshots, oldest first.
+
+    ``snapshots`` are ``(name, validated document)`` pairs in
+    chronological order (:func:`repro.bench.harness.load_history`
+    yields them sorted by filename, which embeds the run timestamp).
+    Series cover every unit present in the *newest* snapshot; snapshots
+    missing a unit contribute a gap.
+    """
+    if not snapshots:
+        return {"snapshots": [], "series": []}
+    indexed: List[Dict[Tuple, Tuple[Optional[float], str]]] = []
+    for _, document in snapshots:
+        index: Dict[Tuple, Tuple[Optional[float], str]] = {}
+        for bench in document["benchmarks"]:
+            for point in bench["points"]:
+                pkey = _point_key(point["params"])
+                for metric, summary in point["metrics"].items():
+                    median = summary.get("median")
+                    index[(bench["benchmark"], pkey, metric)] = (
+                        float(median)
+                        if isinstance(median, (int, float))
+                        and math.isfinite(median)
+                        else None,
+                        summary["direction"],
+                    )
+        indexed.append(index)
+    series: List[Dict[str, Any]] = []
+    newest_name, newest = snapshots[-1]
+    for bench in newest["benchmarks"]:
+        for point in bench["points"]:
+            pkey = _point_key(point["params"])
+            params = dict(point["params"])
+            for metric, summary in point["metrics"].items():
+                key = (bench["benchmark"], pkey, metric)
+                values = [index.get(key, (None, ""))[0] for index in indexed]
+                series.append(
+                    {
+                        "benchmark": bench["benchmark"],
+                        "params": params,
+                        "metric": metric,
+                        "direction": summary["direction"],
+                        "medians": values,
+                        "sparkline": sparkline(values),
+                    }
+                )
+    return {
+        "snapshots": [name for name, _ in snapshots],
+        "series": series,
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def _md_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|---" * len(header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _render_ranking(report: ExperimentReport) -> List[str]:
+    ranking = report.ranking
+    lines = ["## Overall ranking (rank-by-median)", ""]
+    lines.append(
+        f"{len(ranking.variants)} variants over "
+        f"{ranking.complete_units} complete units "
+        f"(of {ranking.total_units} total; a unit is one benchmark × "
+        f"matrix point × metric, *complete* when every variant measured "
+        f"it)."
+    )
+    lines.append("")
+    if not ranking.complete_units:
+        lines.append(
+            "No unit was measured for every variant — no overall ranking. "
+            "Per-unit pairwise results below still cover the overlap."
+        )
+        return lines
+    ordered = sorted(
+        ranking.mean_ranks.items(), key=lambda item: (item[1], item[0])
+    )
+    rows = []
+    for position, (variant, rank) in enumerate(ordered, start=1):
+        rows.append(
+            [
+                str(position),
+                f"`{variant}`",
+                f"{rank:.3f}",
+                str(ranking.wins.get(variant, 0)),
+            ]
+        )
+    lines += _md_table(["#", "variant", "mean rank", "units won"], rows)
+    lines.append("")
+    if ranking.critical_diff is not None:
+        lines.append(
+            f"Critical difference (Nemenyi, α={report.alpha:g}): "
+            f"**{ranking.critical_diff:.3f}** — variants whose mean ranks "
+            f"differ by less are statistically indistinguishable."
+        )
+        if ranking.groups:
+            parts = [
+                " ~ ".join(f"`{v}`" for v in group)
+                for group in ranking.groups
+            ]
+            lines.append("Indistinguishable groups: " + "; ".join(parts) + ".")
+    else:
+        lines.append(
+            "Critical difference unavailable (Nemenyi critical values are "
+            "tabulated for 2–10 variants at α ∈ {0.05, 0.10})."
+        )
+    return lines
+
+
+def _render_benchmark(
+    report: ExperimentReport,
+    benchmark: str,
+    analyses: Sequence[UnitAnalysis],
+    full_detail: bool,
+) -> List[str]:
+    lines = [f"### {benchmark}", ""]
+    header = ["params", "metric", "dir"] + [f"`{v}`" for v in report.variants]
+    header += ["best", "min p"]
+    rows = []
+    for analysis in analyses:
+        unit = analysis.unit
+        best = set(analysis.best())
+        cells = []
+        for variant in report.variants:
+            text = _fmt(unit.medians.get(variant))
+            if variant in best and text != "-":
+                text = f"**{text}**"
+            cells.append(text)
+        min_p = analysis.min_p
+        rows.append(
+            [unit.describe_params(), unit.metric, unit.direction[0]]
+            + cells
+            + [", ".join(sorted(best)) or "-",
+               "-" if min_p is None else f"{min_p:.4f}"]
+        )
+    lines += _md_table(header, rows)
+    lines.append("")
+
+    significant = [
+        a
+        for a in analyses
+        if a.min_p is not None and a.min_p < report.alpha and len(a.pairwise)
+    ]
+    if not significant:
+        lines.append(
+            f"No pairwise difference below α={report.alpha:g} in this "
+            "benchmark."
+        )
+        return lines
+    shown = significant if full_detail else significant[:MAX_DETAIL_UNITS]
+    lines.append(
+        f"Pairwise Mann–Whitney U / A12 matrices for the "
+        f"{len(shown)} unit(s) with p < α:"
+    )
+    lines.append("")
+    for analysis in shown:
+        unit = analysis.unit
+        present = unit.present()
+        lines.append(
+            f"**{unit.metric}** [{unit.describe_params()}] — cell: "
+            f"p-value / A12(row over column)"
+        )
+        lines.append("")
+        cell_map: Dict[Tuple[str, str], PairwiseCell] = {}
+        for cell in analysis.pairwise:
+            cell_map[(cell.a, cell.b)] = cell
+        matrix_rows = []
+        for va in present:
+            row = [f"`{va}`"]
+            for vb in present:
+                if va == vb:
+                    row.append("—")
+                    continue
+                cell = cell_map.get((va, vb)) or cell_map.get((vb, va))
+                if cell is None:
+                    row.append("-")
+                    continue
+                effect = (
+                    cell.effect_a12
+                    if cell.a == va
+                    else 1.0 - cell.effect_a12
+                )
+                mark = "*" if cell.p_value < report.alpha else ""
+                row.append(f"{cell.p_value:.4f}{mark} / {effect:.2f}")
+            matrix_rows.append(row)
+        lines += _md_table([""] + [f"`{v}`" for v in present], matrix_rows)
+        lines.append("")
+    omitted = len(significant) - len(shown)
+    if omitted > 0:
+        lines.append(
+            f"…{omitted} more significant unit(s) omitted from the "
+            "markdown (all are in the JSON report; re-render with "
+            "--full-detail to include them)."
+        )
+    return lines
+
+
+def _render_phases(report: ExperimentReport) -> List[str]:
+    from repro.obs.export import render_phase_table
+
+    lines = ["## Per-phase latency breakdown", ""]
+    lines.append(
+        "Mean seconds spent in each pipeline phase (milliseconds in the "
+        "cells), sourced from the obs milestone pipeline (`run "
+        "--phases`)."
+    )
+    lines.append("")
+    rendered = 0
+    for benchmark in report.benchmark_order:
+        for (bench_name, _), entry in sorted(report.phases.items()):
+            if bench_name != benchmark:
+                continue
+            params = ", ".join(
+                f"{k}={v}" for k, v in entry["params"].items()
+            ) or "-"
+            columns = {
+                (variant or "run"): samples
+                for variant, samples in entry["columns"].items()
+            }
+            lines.append(f"### {benchmark} [{params}]")
+            lines.append("")
+            lines.append(render_phase_table(columns))
+            lines.append("")
+            rendered += 1
+    if not rendered:
+        lines.append(
+            "No phase breakdowns in the inputs (run benchmarks with "
+            "`--phases` to embed them)."
+        )
+    return lines
+
+
+def _render_history(report: ExperimentReport) -> List[str]:
+    history = report.history or {}
+    snapshots = history.get("snapshots", [])
+    lines = ["## Regression history", ""]
+    if not snapshots:
+        lines.append(
+            "No history snapshots (accumulate them with "
+            "`python -m repro.bench history append RESULT.json`)."
+        )
+        return lines
+    lines.append(
+        f"{len(snapshots)} snapshot(s), oldest → newest: "
+        f"`{snapshots[0]}` … `{snapshots[-1]}`."
+    )
+    lines.append("")
+    rows = []
+    for entry in history.get("series", []):
+        params = ", ".join(f"{k}={v}" for k, v in entry["params"].items()) or "-"
+        medians = entry["medians"]
+        finite = [m for m in medians if m is not None]
+        latest = medians[-1] if medians else None
+        oldest = finite[0] if finite else None
+        if oldest not in (None, 0) and latest is not None:
+            delta = (latest - oldest) / abs(oldest)
+            delta_text = f"{delta:+.1%}"
+        else:
+            delta_text = "-"
+        rows.append(
+            [
+                entry["benchmark"],
+                params,
+                entry["metric"],
+                entry["sparkline"],
+                _fmt(latest),
+                delta_text,
+            ]
+        )
+    lines += _md_table(
+        ["benchmark", "params", "metric", "history", "latest", "Δ oldest→latest"],
+        rows,
+    )
+    return lines
+
+
+def render_markdown(
+    report: ExperimentReport, full_detail: bool = False
+) -> str:
+    """Deterministic markdown for the whole report."""
+    lines = ["# Benchmark experiment report", ""]
+    mode = (
+        "one result file split by matrix axis "
+        f"`{report.grouping_mode.split(':', 1)[1]}`"
+        if report.grouping_mode.startswith("axis:")
+        else "one variant per result file"
+    )
+    lines.append(
+        f"N-way statistical comparison of {len(report.variants)} variants "
+        f"({mode}), α={report.alpha:g}."
+    )
+    lines.append("")
+    if report.sources:
+        lines.append("Sources:")
+        for source in report.sources:
+            label = f"`{source['variant']}`" if source.get("variant") else "input"
+            lines.append(
+                f"- {label} ← `{source['path']}` "
+                f"(run `{source['run_name']}`, mode {source['mode']})"
+            )
+        lines.append("")
+    for note in report.notes:
+        lines.append(f"> note: {note}")
+    if report.notes:
+        lines.append("")
+    lines += _render_ranking(report)
+    lines.append("")
+    lines.append("## Per-benchmark results")
+    lines.append("")
+    lines.append(
+        "Medians per variant (bold = best, direction-aware); `min p` is "
+        "the smallest pairwise Mann–Whitney p-value at the unit."
+    )
+    lines.append("")
+    by_benchmark: Dict[str, List[UnitAnalysis]] = {}
+    for analysis in report.units:
+        by_benchmark.setdefault(analysis.unit.benchmark, []).append(analysis)
+    for benchmark in report.benchmark_order:
+        analyses = by_benchmark.get(benchmark)
+        if not analyses:
+            continue
+        lines += _render_benchmark(report, benchmark, analyses, full_detail)
+        lines.append("")
+    lines += _render_phases(report)
+    lines.append("")
+    lines += _render_history(report)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_github_summary(report: ExperimentReport) -> str:
+    """The ranking section alone — what CI writes to the step summary."""
+    lines = ["# Benchmark ranking", ""]
+    for note in report.notes:
+        lines.append(f"> note: {note}")
+    if report.notes:
+        lines.append("")
+    lines += _render_ranking(report)
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSON document
+# ----------------------------------------------------------------------
+def report_to_json_dict(report: ExperimentReport) -> Dict[str, Any]:
+    ranking = report.ranking
+    document: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "variants": list(report.variants),
+        "alpha": report.alpha,
+        "grouping": report.grouping_mode,
+        "sources": list(report.sources),
+        "notes": list(report.notes),
+        "ranking": {
+            "total_units": ranking.total_units,
+            "complete_units": ranking.complete_units,
+            "mean_ranks": {
+                v: ranking.mean_ranks[v] for v in sorted(ranking.mean_ranks)
+            },
+            "wins": dict(sorted(ranking.wins.items())),
+            "critical_difference": ranking.critical_diff,
+            "groups": (
+                [list(group) for group in ranking.groups]
+                if ranking.groups is not None
+                else None
+            ),
+        },
+        "benchmarks": [],
+    }
+    by_benchmark: Dict[str, List[UnitAnalysis]] = {}
+    for analysis in report.units:
+        by_benchmark.setdefault(analysis.unit.benchmark, []).append(analysis)
+    for benchmark in report.benchmark_order:
+        analyses = by_benchmark.get(benchmark, [])
+        units_json = []
+        for analysis in analyses:
+            unit = analysis.unit
+            units_json.append(
+                {
+                    "params": dict(unit.params),
+                    "metric": unit.metric,
+                    "direction": unit.direction,
+                    "medians": {
+                        v: unit.medians[v] for v in sorted(unit.medians)
+                    },
+                    "samples": {
+                        v: list(unit.samples[v]) for v in sorted(unit.samples)
+                    },
+                    "best": analysis.best(),
+                    "pairwise": [
+                        {
+                            "a": cell.a,
+                            "b": cell.b,
+                            "p_value": cell.p_value,
+                            "a12": cell.effect_a12,
+                            "magnitude": cell.magnitude,
+                            "significant": cell.p_value < report.alpha,
+                        }
+                        for cell in analysis.pairwise
+                    ],
+                    "ranks": analysis.ranks,
+                }
+            )
+        document["benchmarks"].append(
+            {"benchmark": benchmark, "units": units_json}
+        )
+    document["phases"] = [
+        {
+            "benchmark": bench_name,
+            "params": entry["params"],
+            "columns": {
+                (variant or "run"): samples
+                for variant, samples in sorted(entry["columns"].items())
+            },
+        }
+        for (bench_name, _), entry in sorted(report.phases.items())
+    ]
+    document["history"] = report.history
+    return document
+
+
+# ----------------------------------------------------------------------
+# Top-level entry point used by the CLI
+# ----------------------------------------------------------------------
+def build_report(
+    paths: Sequence[str],
+    by_axis: Optional[str] = None,
+    names: Optional[Sequence[str]] = None,
+    alpha: float = DEFAULT_ALPHA,
+    history_snapshots: Optional[Sequence[Tuple[str, Mapping[str, Any]]]] = None,
+) -> ExperimentReport:
+    """Load result files, group, and analyze (raises ReportError /
+    SchemaError / OSError on bad inputs — the CLI maps those to exit
+    code 2)."""
+    documents = [(path, load_result(path)) for path in paths]
+    if by_axis is not None:
+        if len(documents) != 1:
+            raise ReportError("--by takes exactly one result file")
+        if names:
+            raise ReportError("--names only applies to file-grouped reports")
+        path, document = documents[0]
+        grouping = group_by_axis(document, by_axis)
+        sources = [
+            {
+                "variant": "",
+                "path": path,
+                "run_name": document.get("run_name", ""),
+                "mode": document.get("mode", ""),
+            }
+        ]
+        grouping_mode = f"axis:{by_axis}"
+    else:
+        if names is not None:
+            if len(names) != len(documents):
+                raise ReportError(
+                    f"--names lists {len(names)} name(s) for "
+                    f"{len(documents)} file(s)"
+                )
+            labelled = list(names)
+        else:
+            labelled = [doc.get("run_name", path) for path, doc in documents]
+        grouping = group_by_files(
+            [(label, doc) for label, (_, doc) in zip(labelled, documents)]
+        )
+        sources = [
+            {
+                "variant": label,
+                "path": path,
+                "run_name": document.get("run_name", ""),
+                "mode": document.get("mode", ""),
+            }
+            for label, (path, document) in zip(labelled, documents)
+        ]
+        grouping_mode = "files"
+    history = (
+        history_series(history_snapshots) if history_snapshots else None
+    )
+    return analyze(
+        grouping,
+        alpha=alpha,
+        sources=sources,
+        grouping_mode=grouping_mode,
+        history=history,
+    )

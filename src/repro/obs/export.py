@@ -11,13 +11,19 @@
   (the schema check the tests and the CI acceptance step run).
 - :func:`render_critical_path` draws the ASCII per-instance breakdown
   of the milestone chain.
+- :func:`phase_mean_rows` / :func:`render_phase_table` export the
+  per-phase latency breakdown as table rows (canonical
+  :data:`~repro.obs.observability.PHASES` order, ``end_to_end`` last)
+  for any number of columns — the per-phase tables of
+  ``python -m repro.bench report`` are rendered through these.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 from repro.obs.observability import MILESTONES, PHASES, Observability
@@ -196,4 +202,78 @@ def render_critical_path(
             f"  {label:<{longest}}  {_fmt_seconds(delta)}  {share:6.1%}  {bar}"
         )
     lines.append(f"  {'end-to-end':<{longest}}  {_fmt_seconds(total)}  100.0%")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Phase-breakdown table export
+# ----------------------------------------------------------------------
+#: Canonical row order for phase tables: the telescoping phases in
+#: pipeline order, then the end-to-end total.
+PHASE_TABLE_ORDER = tuple(label for label, _, _ in PHASES) + ("end_to_end",)
+
+
+def _mean(samples: Sequence[Optional[float]]) -> Optional[float]:
+    finite = [
+        s for s in samples if isinstance(s, (int, float)) and math.isfinite(s)
+    ]
+    if not finite:
+        return None
+    return sum(finite) / len(finite)
+
+
+def phase_mean_rows(
+    samples_by_column: Mapping[str, Mapping[str, Sequence[float]]],
+) -> List[Tuple[str, Dict[str, Optional[float]]]]:
+    """Order per-phase samples into table rows.
+
+    ``samples_by_column`` maps a column name (a run, a variant, a
+    backend) to that column's ``{phase label: [samples]}`` breakdown —
+    the shape the bench harness embeds in result JSON under ``phases``.
+    Returns ``(phase label, {column: mean seconds})`` rows in canonical
+    pipeline order (:data:`PHASE_TABLE_ORDER`), keeping only labels at
+    least one column measured; unknown labels sort after the canonical
+    ones, alphabetically, so nothing is silently dropped.
+    """
+    labels_present: set = set()
+    for samples in samples_by_column.values():
+        labels_present.update(samples)
+    ordered = [label for label in PHASE_TABLE_ORDER if label in labels_present]
+    ordered += sorted(labels_present - set(PHASE_TABLE_ORDER))
+    rows: List[Tuple[str, Dict[str, Optional[float]]]] = []
+    for label in ordered:
+        rows.append(
+            (
+                label,
+                {
+                    column: _mean(samples.get(label, ()))
+                    for column, samples in samples_by_column.items()
+                },
+            )
+        )
+    return rows
+
+
+def render_phase_table(
+    samples_by_column: Mapping[str, Mapping[str, Sequence[float]]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Markdown table of per-phase mean latencies, one column per run.
+
+    Cells are milliseconds (phases are sub-second in every deployment
+    we simulate); missing measurements render as ``-``.
+    """
+    if columns is None:
+        columns = sorted(samples_by_column)
+    rows = phase_mean_rows({c: samples_by_column[c] for c in columns})
+    lines = [
+        "| phase | " + " | ".join(columns) + " |",
+        "|---" * (len(columns) + 1) + "|",
+    ]
+    for label, means in rows:
+        cells = []
+        for column in columns:
+            mean = means.get(column)
+            cells.append("-" if mean is None else f"{mean * 1e3:.3f}")
+        lines.append(f"| {label} | " + " | ".join(cells) + " |")
     return "\n".join(lines)

@@ -95,6 +95,14 @@ class TestComparator:
         assert finding.metric == "latency_s"
         assert finding.delta_relative == pytest.approx(0.30, abs=0.02)
         assert finding.p_value is not None and finding.p_value < 0.05
+        # candidate is uniformly 30% slower: candidate samples dominate
+        assert finding.effect_a12 == pytest.approx(1.0)
+        assert "A12=" in finding.describe()
+        serialized = report.to_json_dict()["comparisons"]
+        (regressed_row,) = [
+            row for row in serialized if row["status"] == finding.status
+        ]
+        assert regressed_row["effect_a12"] == pytest.approx(1.0)
         assert gate(report) == 1
 
     def test_within_tolerance_noise_passes(self):

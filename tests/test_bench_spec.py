@@ -1,0 +1,228 @@
+"""Tests for declarative TOML experiment specs (repro.bench.spec)."""
+
+import dataclasses
+import json
+
+import pytest
+
+pytest.importorskip(
+    "tomllib", reason="TOML specs need Python 3.11+ (or tomli)"
+)
+
+from repro.bench.harness import Benchmark, BenchmarkRegistry, load_result
+from repro.bench.spec import (
+    ExperimentSpec,
+    SpecError,
+    expand_spec,
+    load_spec,
+    parse_spec,
+)
+
+BAKEOFF_SPEC = "benchmarks/specs/bakeoff.toml"
+
+
+def base_document(**overrides):
+    document = {
+        "schema": "repro-bench-spec/1",
+        "name": "demo",
+        "description": "a demo sweep",
+        "select": {"benchmarks": ["fake"]},
+    }
+    document.update(overrides)
+    return document
+
+
+def fake_registry():
+    registry = BenchmarkRegistry()
+    registry.add(
+        Benchmark(
+            name="fake_bench",
+            run=lambda ctx: {"m": 1.0},
+            matrix={"orderer": ("solo", "bft"), "n": (4, 7, 10)},
+            smoke_matrix={"orderer": ("solo",), "n": (4,)},
+            repeats=5,
+            smoke_repeats=2,
+            base_seed=100,
+            directions={"m": "lower"},
+        )
+    )
+    return registry
+
+
+class TestParse:
+    def test_minimal_valid(self):
+        spec = parse_spec(base_document())
+        assert spec.name == "demo"
+        assert spec.benchmarks == ("fake",)
+        assert spec.mode == "full"
+        assert spec.repeats is None
+        assert spec.default_out == "BENCH_demo.json"
+
+    def test_wrong_schema(self):
+        with pytest.raises(SpecError, match="schema"):
+            parse_spec(base_document(schema="repro-bench-spec/2"))
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(SpecError, match="unknown top-level"):
+            parse_spec(base_document(matrrix={"f": [1]}))
+
+    def test_unknown_run_key(self):
+        with pytest.raises(SpecError, match=r"unknown \[run\]"):
+            parse_spec(base_document(run={"mode": "full", "seeds": 3}))
+
+    def test_bad_name(self):
+        with pytest.raises(SpecError, match="name"):
+            parse_spec(base_document(name="has spaces"))
+        with pytest.raises(SpecError, match="name"):
+            parse_spec(base_document(name=""))
+
+    def test_bad_mode_and_repeats(self):
+        with pytest.raises(SpecError, match="mode"):
+            parse_spec(base_document(run={"mode": "fast"}))
+        with pytest.raises(SpecError, match="repeats"):
+            parse_spec(base_document(run={"repeats": 0}))
+        with pytest.raises(SpecError, match="phases"):
+            parse_spec(base_document(run={"phases": "yes"}))
+
+    def test_empty_benchmark_list(self):
+        with pytest.raises(SpecError, match="benchmarks"):
+            parse_spec(base_document(select={"benchmarks": []}))
+
+    def test_bad_axis_values(self):
+        with pytest.raises(SpecError, match="non-empty list"):
+            parse_spec(base_document(matrix={"f": []}))
+        with pytest.raises(SpecError, match="non-scalar"):
+            parse_spec(base_document(matrix={"f": [[1, 2]]}))
+
+    def test_unknown_smoke_key(self):
+        with pytest.raises(SpecError, match=r"unknown \[smoke\]"):
+            parse_spec(base_document(smoke={"repeats": 1}))
+
+
+class TestExpand:
+    def test_matrix_override_and_layering(self):
+        spec = parse_spec(
+            base_document(
+                run={"repeats": 3, "seed": 7},
+                matrix={"n": [4, 10]},
+                smoke={"matrix": {"n": [4]}},
+            )
+        )
+        (derived,) = expand_spec(spec, registry=fake_registry())
+        # full matrix: orderer untouched, n replaced -> 2 x 2 points
+        assert derived.matrix["orderer"] == ("solo", "bft")
+        assert derived.matrix["n"] == (4, 10)
+        assert len(list(derived.points("full"))) == 4
+        # smoke: benchmark smoke base, [matrix] layered, [smoke.matrix] wins
+        assert derived.smoke_matrix["orderer"] == ("solo",)
+        assert derived.smoke_matrix["n"] == (4,)
+        assert derived.repeats == 3
+        assert derived.smoke_repeats == 3
+        assert derived.base_seed == 7
+
+    def test_unknown_benchmark(self):
+        spec = parse_spec(base_document(select={"benchmarks": ["nope"]}))
+        with pytest.raises(SpecError, match="nope"):
+            expand_spec(spec, registry=fake_registry())
+
+    def test_unknown_axis(self):
+        spec = parse_spec(base_document(matrix={"typo_axis": [1]}))
+        with pytest.raises(SpecError, match="typo_axis"):
+            expand_spec(spec, registry=fake_registry())
+        # smoke-only axes are validated too
+        spec = parse_spec(base_document(smoke={"matrix": {"typo": [1]}}))
+        with pytest.raises(SpecError, match="typo"):
+            expand_spec(spec, registry=fake_registry())
+
+    def test_original_benchmark_untouched(self):
+        registry = fake_registry()
+        spec = parse_spec(base_document(matrix={"n": [99]}))
+        expand_spec(spec, registry=registry)
+        (original,) = registry.select(["fake"])
+        assert original.matrix["n"] == (4, 7, 10)
+
+
+class TestCommittedBakeoffSpec:
+    """The committed spec must keep reproducing the four-backend bake-off."""
+
+    def test_loads_and_expands_on_the_real_registry(self):
+        spec = load_spec(BAKEOFF_SPEC)
+        assert spec.name == "bakeoff"
+        (derived,) = expand_spec(spec)
+        assert derived.name == "bakeoff_orderers"
+        assert derived.matrix["orderer"] == (
+            "solo", "kafka", "bftsmart", "smartbft",
+        )
+        # full: 4 orderers x 2 f values; smoke: 4 orderers x f=1
+        assert len(list(derived.points("full"))) == 8
+        smoke_points = list(derived.points("smoke"))
+        assert len(smoke_points) == 4
+        assert all(p["f"] == 1 and p["envelopes"] == 40 for p in smoke_points)
+
+
+class TestSpecCLI:
+    def tiny_spec(self, tmp_path, body=None):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            body
+            or (
+                'schema = "repro-bench-spec/1"\n'
+                'name = "tiny"\n'
+                "[select]\n"
+                'benchmarks = ["conclusion"]\n'
+                "[run]\n"
+                "repeats = 1\n"
+            )
+        )
+        return str(path)
+
+    def test_run_spec_end_to_end(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "result.json"
+        code = main(
+            ["run", "--spec", self.tiny_spec(tmp_path), "--smoke",
+             "--quiet", "--out", str(out)]
+        )
+        assert code == 0
+        document = load_result(str(out))
+        assert document["run_name"] == "tiny"
+        assert [b["benchmark"] for b in document["benchmarks"]] == [
+            "conclusion"
+        ]
+        capsys.readouterr()
+
+    def test_run_spec_bad_file_exits_2(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        bad = self.tiny_spec(tmp_path, body="schema = 'nope'\n")
+        assert main(["run", "--spec", bad]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_spec_missing_file_exits_2(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["run", "--spec", str(tmp_path / "missing.toml")]) == 2
+        capsys.readouterr()
+
+    def test_run_spec_conflicts_with_only(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(
+            ["run", "--spec", self.tiny_spec(tmp_path), "--only", "x"]
+        )
+        assert code == 2
+        capsys.readouterr()
+
+
+class TestSpecImmutability:
+    def test_spec_dataclass_frozen(self):
+        spec = parse_spec(base_document())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.name = "other"
+
+    def test_json_round_trip_of_parsed_fields(self):
+        spec = parse_spec(base_document(matrix={"f": [1, 3]}))
+        # matrix values survive as plain scalars (JSON-serializable)
+        json.dumps({k: list(v) for k, v in spec.matrix.items()})
+        assert isinstance(spec, ExperimentSpec)

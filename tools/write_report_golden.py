@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Regenerate the golden experiment-report markdown.
+
+The golden pins the exact rendering of
+:func:`repro.bench.report.render_markdown` over the deterministic
+scenario defined in ``tests/test_bench_report.py`` (the scenario and
+this golden must only change together).  Usage::
+
+    PYTHONPATH=src python tools/write_report_golden.py
+
+then review the diff of ``tests/data/golden/bench_report.md``.
+"""
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests"))
+
+
+def main() -> int:
+    from test_bench_report import build_golden_report
+
+    from repro.bench.report import render_markdown
+
+    golden = REPO / "tests" / "data" / "golden" / "bench_report.md"
+    golden.parent.mkdir(parents=True, exist_ok=True)
+    golden.write_text(render_markdown(build_golden_report()), encoding="utf-8")
+    print(f"wrote {golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
