@@ -30,8 +30,12 @@ SPEC ?= benchmarks/specs/bakeoff.toml
 # protocol-aware analysis knobs (see docs/ANALYSIS.md)
 ANALYZE_OUT ?= analysis-report.json
 DETSAN_OUT ?= detsan-report.json
+FLOW_OUT ?= flow-report.json
+FLOW_GRAPH ?= flow-graph.json
+RACESAN_OUT ?= racesan-report.json
+RACESAN_K ?= 8
 
-.PHONY: test lint analyze detsan ci faults-smoke faults-explore faults-recovery faults-smartbft bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline bench-report bench-sweep
+.PHONY: test lint analyze flow detsan racesan ci faults-smoke faults-explore faults-recovery faults-smartbft bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline bench-report bench-sweep
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
@@ -48,14 +52,26 @@ analyze:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis check \
 		--json $(ANALYZE_OUT)
 
+## MsgFlow: interprocedural message-flow/taint analysis (FLOW rules)
+## over the protocol packages; also emits the flow graph artifact
+flow:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis flow \
+		--json $(FLOW_OUT) --graph $(FLOW_GRAPH)
+
 ## runtime determinism sanitizer: double-run the seeded smoke scenario
 ## under different PYTHONHASHSEEDs and diff trace/span/metric views
 detsan:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis detsan \
 		--json $(DETSAN_OUT)
 
+## schedule-race sanitizer: re-run smoke + recovery under RACESAN_K
+## tie-break permutations and diff semantic digests (RACESAN001)
+racesan:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis racesan \
+		--permutations $(RACESAN_K) --json $(RACESAN_OUT)
+
 ## everything CI's per-commit job runs, in order
-ci: lint analyze test faults-smoke faults-recovery faults-smartbft bench-smoke bench-check bench-kernel bench-report
+ci: lint analyze flow test faults-smoke faults-recovery faults-smartbft bench-smoke bench-check bench-kernel bench-report
 
 ## quick confidence check: 5 explorer seeds (runs in seconds)
 faults-smoke:

@@ -3,9 +3,15 @@
 Subcommands:
 
 - ``check [paths...]`` (the default): run the static DET/PROTO rules.
+- ``flow``: the MsgFlow interprocedural message-flow/taint analysis
+  (FLOW001-003), with optional graph artifacts (``--graph``/``--dot``).
 - ``detsan``: the runtime determinism sanitizer (double-run + diff).
+- ``racesan``: the schedule-race sanitizer (K tie-break permutations
+  per scenario, semantic-digest diff, RACESAN001).
 - ``capture``: one instrumented scenario run to a JSON record --
   internal, spawned twice by ``detsan`` under different hash seeds.
+- ``racesan-capture``: one scenario run under a tie-break permutation
+  to a JSON record -- internal, spawned K+1 times by ``racesan``.
 - ``rules``: print the rule catalog.
 
 Exit status everywhere: 0 clean, 1 findings/divergence, 2 internal
@@ -19,9 +25,14 @@ import json
 import sys
 from pathlib import Path
 
-from . import detsan, engine
+from . import detsan, engine, flow, racesan
 from .rules import CATALOG
-from .suppress import DETSAN_RULES, UNKNOWN_SUPPRESSION
+from .suppress import (
+    DETSAN_RULES,
+    FLOW_RULES,
+    RACESAN_RULES,
+    UNKNOWN_SUPPRESSION,
+)
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +59,23 @@ def main(argv=None) -> int:
     )
     check.add_argument("--json", dest="json_out", default=None)
 
+    flow_cmd = sub.add_parser(
+        "flow", help="MsgFlow message-flow/taint analysis (FLOW001-003)"
+    )
+    flow_cmd.add_argument(
+        "paths",
+        nargs="*",
+        default=list(flow.DEFAULT_FLOW_PATHS),
+        help="files/directories to analyze (default: protocol packages)",
+    )
+    flow_cmd.add_argument("--json", dest="json_out", default=None)
+    flow_cmd.add_argument(
+        "--graph", dest="graph_out", default=None, help="graph JSON artifact"
+    )
+    flow_cmd.add_argument(
+        "--dot", dest="dot_out", default=None, help="GraphViz DOT artifact"
+    )
+
     det = sub.add_parser("detsan", help="runtime determinism sanitizer")
     _add_scenario_args(det)
     det.add_argument("--json", dest="json_out", default=None)
@@ -58,6 +86,48 @@ def main(argv=None) -> int:
     _add_scenario_args(capture)
     capture.add_argument("--out", required=True)
 
+    race = sub.add_parser("racesan", help="schedule-race sanitizer")
+    race.add_argument(
+        "--scenario",
+        dest="scenarios",
+        action="append",
+        choices=list(racesan.ALL_SCENARIOS),
+        default=None,
+        help="scenario to permute (repeatable; default: smoke + recovery)",
+    )
+    race.add_argument(
+        "--permutations",
+        "-k",
+        type=int,
+        default=racesan.DEFAULT_PERMUTATIONS,
+        help="tie-break permutations per scenario",
+    )
+    race.add_argument("--seed", type=int, default=racesan.DEFAULT_SEED)
+    race.add_argument(
+        "--duration", type=float, default=racesan.DEFAULT_DURATION
+    )
+    race.add_argument("--rate", type=float, default=racesan.DEFAULT_RATE)
+    race.add_argument("--json", dest="json_out", default=None)
+
+    race_capture = sub.add_parser(
+        "racesan-capture",
+        help="one permuted run to a JSON record (internal)",
+    )
+    race_capture.add_argument(
+        "--scenario", default="smoke", choices=list(racesan.ALL_SCENARIOS)
+    )
+    race_capture.add_argument("--seed", type=int, default=racesan.DEFAULT_SEED)
+    race_capture.add_argument(
+        "--duration", type=float, default=racesan.DEFAULT_DURATION
+    )
+    race_capture.add_argument(
+        "--rate", type=float, default=racesan.DEFAULT_RATE
+    )
+    race_capture.add_argument(
+        "--tie-seed", dest="tie_seed", type=int, default=None
+    )
+    race_capture.add_argument("--out", required=True)
+
     sub.add_parser("rules", help="print the rule catalog")
 
     args = parser.parse_args(argv)
@@ -66,6 +136,34 @@ def main(argv=None) -> int:
         paths = getattr(args, "paths", list(engine.DEFAULT_PATHS))
         json_out = getattr(args, "json_out", None)
         return engine.run(paths, json_out=json_out)
+    if args.command == "flow":
+        return flow.run(
+            args.paths,
+            json_out=args.json_out,
+            graph_out=args.graph_out,
+            dot_out=args.dot_out,
+        )
+    if args.command == "racesan":
+        return racesan.run(
+            scenarios=args.scenarios or list(racesan.DEFAULT_SCENARIOS),
+            permutations=args.permutations,
+            seed=args.seed,
+            duration=args.duration,
+            rate=args.rate,
+            json_out=args.json_out,
+        )
+    if args.command == "racesan-capture":
+        record = racesan.capture_record(
+            scenario=args.scenario,
+            seed=args.seed,
+            duration=args.duration,
+            rate=args.rate,
+            tie_seed=args.tie_seed,
+        )
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(record, sort_keys=True) + "\n")
+        return 0
     if args.command == "detsan":
         return detsan.run(
             seed=args.seed,
@@ -90,8 +188,20 @@ def main(argv=None) -> int:
             elif rule.exempt_paths:
                 scope = f" [exempt: {', '.join(rule.exempt_paths)}]"
             print(f"{rule_id}  {rule.title}{scope}")
+        flow_titles = {
+            "FLOW001": "tainted message data mutates protocol state "
+            "before verification",
+            "FLOW002": "message class with no reachable handler or no sender",
+            "FLOW003": "dispatch entry or handler outside the flow graph",
+        }
+        for rule_id in FLOW_RULES:
+            print(f"{rule_id}  {flow_titles[rule_id]}")
         for rule_id in DETSAN_RULES:
             print(f"{rule_id}  runtime divergence (see docs/ANALYSIS.md)")
+        for rule_id in RACESAN_RULES:
+            print(
+                f"{rule_id}  semantics diverge across tie-break permutations"
+            )
         print(f"{UNKNOWN_SUPPRESSION}  suppression names an unknown rule")
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

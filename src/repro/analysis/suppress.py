@@ -58,6 +58,16 @@ DETSAN_RULES = (
     "DETSAN004",
 )
 
+#: Message-flow taint rules (:mod:`repro.analysis.flow`).
+FLOW_RULES = (
+    "FLOW001",
+    "FLOW002",
+    "FLOW003",
+)
+
+#: Schedule-race sanitizer rules (:mod:`repro.analysis.racesan`).
+RACESAN_RULES = ("RACESAN001",)
+
 #: The meta-rule for malformed/unknown suppressions.
 UNKNOWN_SUPPRESSION = "SUP001"
 
@@ -65,6 +75,8 @@ KNOWN_RULE_IDS: Set[str] = {
     *LINT_FALLBACK_RULES,
     *STATIC_RULES,
     *DETSAN_RULES,
+    *FLOW_RULES,
+    *RACESAN_RULES,
     UNKNOWN_SUPPRESSION,
 }
 

@@ -241,6 +241,7 @@ def cmd_report(args) -> int:
         ReportError,
         build_report,
         render_github_summary,
+        render_html,
         render_markdown,
         report_to_json_dict,
     )
@@ -271,6 +272,10 @@ def cmd_report(args) -> int:
         print(f"[markdown written to {args.out}]")
     else:
         print(markdown)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(markdown))
+        print(f"[html written to {args.html}]")
     if args.json:
         import json as json_module
 
@@ -421,6 +426,11 @@ def main(argv=None) -> int:
     report_parser.add_argument(
         "--json", default=None,
         help="also write the repro-bench-report/1 JSON document here",
+    )
+    report_parser.add_argument(
+        "--html", default=None,
+        help="also write a self-contained HTML rendering here "
+        "(tables only, inline CSS, no plots)",
     )
     report_parser.add_argument(
         "--history", default=None, metavar="DIR",

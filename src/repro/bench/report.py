@@ -41,7 +41,9 @@ machine-readable ``repro-bench-report/1`` JSON document.
 
 from __future__ import annotations
 
+import html as html_module
 import math
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -718,6 +720,133 @@ def render_github_summary(report: ExperimentReport) -> str:
     lines += _render_ranking(report)
     lines.append("")
     return "\n".join(lines)
+
+
+_HTML_CSS = """\
+body { font-family: system-ui, sans-serif; max-width: 60rem;
+       margin: 2rem auto; padding: 0 1rem; color: #1b1f24; }
+h1, h2, h3 { line-height: 1.25; }
+h2 { border-bottom: 1px solid #d0d7de; padding-bottom: .25rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #d0d7de; padding: .3rem .6rem;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #f6f8fa; }
+code { background: #f6f8fa; padding: .1rem .3rem; border-radius: 3px;
+       font-size: .9em; }
+blockquote { border-left: 4px solid #d0d7de; margin: 1rem 0;
+             padding: .25rem 1rem; color: #57606a; }\
+"""
+
+_INLINE_CODE_RE = re.compile(r"`([^`]+)`")
+_INLINE_BOLD_RE = re.compile(r"\*\*([^*]+)\*\*")
+
+
+def _html_inline(text: str) -> str:
+    """Escape ``text`` and expand the two inline spans markdown uses."""
+    escaped = html_module.escape(text, quote=False)
+    escaped = _INLINE_CODE_RE.sub(r"<code>\1</code>", escaped)
+    return _INLINE_BOLD_RE.sub(r"<strong>\1</strong>", escaped)
+
+
+def _html_table(rows: Sequence[str]) -> List[str]:
+    def cells(row: str) -> List[str]:
+        return [cell.strip() for cell in row.strip().strip("|").split("|")]
+
+    out = ["<table>", "<thead><tr>"]
+    out += [f"<th>{_html_inline(cell)}</th>" for cell in cells(rows[0])]
+    out.append("</tr></thead>")
+    out.append("<tbody>")
+    for row in rows[2:]:  # rows[1] is the |---| separator
+        out.append(
+            "<tr>"
+            + "".join(f"<td>{_html_inline(c)}</td>" for c in cells(row))
+            + "</tr>"
+        )
+    out.append("</tbody>")
+    out.append("</table>")
+    return out
+
+
+def render_html(markdown: str, title: str = "Benchmark report") -> str:
+    """Self-contained HTML for the report's restricted markdown dialect.
+
+    :func:`render_markdown` only ever emits headings, pipe tables,
+    ``> note:`` quotes, ``-`` lists, and paragraphs with inline
+    ``**bold**`` / backtick-code spans, so this is a straight
+    line-oriented conversion — tables and text only, no plots, no
+    external assets (CSS is inlined).
+    """
+    body: List[str] = []
+    table: List[str] = []
+    paragraph: List[str] = []
+    items: List[str] = []
+    quotes: List[str] = []
+
+    def flush() -> None:
+        if table:
+            body.extend(_html_table(table))
+            table.clear()
+        if paragraph:
+            body.append(f"<p>{_html_inline(' '.join(paragraph))}</p>")
+            paragraph.clear()
+        if items:
+            body.append("<ul>")
+            body.extend(f"<li>{_html_inline(item)}</li>" for item in items)
+            body.append("</ul>")
+            items.clear()
+        if quotes:
+            body.append("<blockquote>")
+            body.append(f"<p>{_html_inline(' '.join(quotes))}</p>")
+            body.append("</blockquote>")
+            quotes.clear()
+
+    for line in markdown.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            flush()
+            continue
+        if stripped.startswith("|"):
+            if paragraph or items or quotes:
+                flush()
+            table.append(stripped)
+            continue
+        if stripped.startswith("#"):
+            flush()
+            level = len(stripped) - len(stripped.lstrip("#"))
+            level = min(level, 6)
+            text = _html_inline(stripped[level:].strip())
+            body.append(f"<h{level}>{text}</h{level}>")
+            continue
+        if stripped.startswith("> "):
+            if table or paragraph or items:
+                flush()
+            quotes.append(stripped[2:])
+            continue
+        if stripped.startswith("- "):
+            if table or paragraph or quotes:
+                flush()
+            items.append(stripped[2:])
+            continue
+        if table or items or quotes:
+            flush()
+        paragraph.append(stripped)
+    flush()
+
+    document = [
+        "<!DOCTYPE html>",
+        '<html lang="en">',
+        "<head>",
+        '<meta charset="utf-8">',
+        f"<title>{html_module.escape(title)}</title>",
+        f"<style>{_HTML_CSS}</style>",
+        "</head>",
+        "<body>",
+        *body,
+        "</body>",
+        "</html>",
+        "",
+    ]
+    return "\n".join(document)
 
 
 # ----------------------------------------------------------------------

@@ -124,7 +124,9 @@ class KafkaBroker:
         if not self.is_leader:
             return  # stale producer; it will retry against the new leader
         offset = len(self.log)
-        self.log.append(message.record)
+        # Kafka is the paper's CFT baseline: brokers trust the ordering
+        # channel by design, so records land unsigned and unverified.
+        self.log.append(message.record)  # repro: allow[FLOW001] CFT by design
         self.sizes.append(message.size)
         self._acks[offset] = {self.name}
         for follower in self.cluster.follower_names(self.name):
@@ -134,7 +136,8 @@ class KafkaBroker:
 
     def _on_replicate(self, src: str, message: Replicate) -> None:
         if message.offset == len(self.log):
-            self.log.append(message.record)
+            # CFT replication: a follower trusts its leader's channel
+            self.log.append(message.record)  # repro: allow[FLOW001] CFT by design
             self.sizes.append(message.size)
         elif message.offset < len(self.log):
             pass  # duplicate

@@ -11,6 +11,21 @@ The kernel is fully deterministic: ties in time are broken by a
 monotonically increasing sequence number, and all randomness must come
 from :class:`repro.sim.randomness.RandomStreams`.
 
+Tie-break permutation (RaceSan)
+-------------------------------
+
+The default tie-break -- same-timestamp events fire in scheduling
+order -- is *one* legal serialization of simulated concurrency, not a
+guarantee protocol code may lean on.  Constructing a simulator with
+``tie_seed=N`` (or calling :func:`set_default_tie_seed` before the
+deployment is built) replaces the heap's ``seq`` key component with a
+seeded bijective mix of it, so every same-timestamp group pops in a
+per-seed shuffled order while distinct timestamps are untouched.  Each
+seed is still fully deterministic; ``None`` (the default) is byte-for-
+byte the historical order.  ``python -m repro.analysis racesan`` uses
+this to prove protocol outcomes are schedule-independent (see
+docs/ANALYSIS.md).
+
 Fast path
 ---------
 
@@ -38,6 +53,38 @@ from typing import Any, Callable, Generator, Iterable, Optional, Tuple
 EVENT_POOL_MAX = 4096
 
 _heappush = heapq.heappush
+
+_MASK64 = (1 << 64) - 1
+
+#: Process-wide default tie seed; ``Simulator()`` picks it up so the
+#: RaceSan capture subprocess can enable permutation before scenario
+#: builders construct their own simulators.  ``None`` = historical
+#: scheduling order.
+_DEFAULT_TIE_SEED: Optional[int] = None
+
+
+def set_default_tie_seed(seed: Optional[int]) -> None:
+    """Set the tie seed newly constructed simulators default to."""
+    global _DEFAULT_TIE_SEED
+    _DEFAULT_TIE_SEED = seed
+
+
+def _tie_mixer(seed: int) -> Callable[[int], int]:
+    """A keyed bijection on 64-bit ints (SplitMix64 finalizer).
+
+    Bijectivity is what keeps the permuted order total and
+    deterministic: distinct sequence numbers always map to distinct
+    keys, so the handle itself is still never compared.
+    """
+    offset = ((seed * 0x9E3779B97F4A7C15) + 0x6A09E667F3BCC909) & _MASK64
+
+    def mix(seq: int, _offset: int = offset) -> int:
+        z = (seq + _offset) & _MASK64
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    return mix
 
 
 class SimulationError(RuntimeError):
@@ -194,13 +241,33 @@ class Process:
 class Simulator:
     """Deterministic discrete-event simulator."""
 
-    def __init__(self):
+    def __init__(self, tie_seed: Optional[int] = None):
         self.now: float = 0.0
         self._heap: list[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._pool: list[EventHandle] = []
         self._processed = 0
         self._running = False
+        #: seeded same-timestamp permutation (RaceSan); None = the
+        #: historical scheduling-order tie-break
+        self.tie_seed: Optional[int] = None
+        self._tie_key: Optional[Callable[[int], int]] = None
+        if tie_seed is None:
+            tie_seed = _DEFAULT_TIE_SEED
+        if tie_seed is not None:
+            self.set_tie_seed(tie_seed)
+
+    def set_tie_seed(self, seed: Optional[int]) -> None:
+        """Install (or clear) the seeded same-timestamp permutation.
+
+        Must be called before events are scheduled: mixing keys for
+        only part of the heap would still be a total order, but not a
+        pure permutation of each tie group.
+        """
+        if self._heap:
+            raise SimulationError("cannot change tie_seed with events pending")
+        self.tie_seed = seed
+        self._tie_key = None if seed is None else _tie_mixer(seed)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -215,6 +282,9 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
         time = self.now + delay
         handle = EventHandle(time, seq := next(self._seq), fn, args)
+        tie_key = self._tie_key
+        if tie_key is not None:
+            seq = tie_key(seq)
         _heappush(self._heap, (time, seq, handle))
         return handle
 
@@ -243,6 +313,9 @@ class Simulator:
             handle = EventHandle(time, 0, fn, args)
             handle.pooled = True
         handle.seq = seq = next(self._seq)
+        tie_key = self._tie_key
+        if tie_key is not None:
+            seq = tie_key(seq)
         _heappush(self._heap, (time, seq, handle))
 
     def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
@@ -261,6 +334,9 @@ class Simulator:
             handle = EventHandle(time, 0, fn, args)
             handle.pooled = True
         handle.seq = seq = next(self._seq)
+        tie_key = self._tie_key
+        if tie_key is not None:
+            seq = tie_key(seq)
         _heappush(self._heap, (time, seq, handle))
 
     def post_many(
@@ -269,7 +345,9 @@ class Simulator:
         """Batch-schedule ``fn(*args)`` for every ``fn`` at ``now + delay``.
 
         One pooled push per callback without per-call dispatch overhead;
-        callbacks fire in iteration order (consecutive sequence numbers).
+        callbacks fire in iteration order (consecutive sequence numbers;
+        under a ``tie_seed`` the batch is subject to the same seeded
+        permutation as every other same-timestamp group).
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
@@ -278,6 +356,7 @@ class Simulator:
         heap = self._heap
         push = _heappush
         nextseq = self._seq.__next__
+        tie_key = self._tie_key
         for fn in fns:
             if pool:
                 handle = pool.pop()
@@ -289,6 +368,8 @@ class Simulator:
                 handle = EventHandle(time, 0, fn, args)
                 handle.pooled = True
             handle.seq = seq = nextseq()
+            if tie_key is not None:
+                seq = tie_key(seq)
             push(heap, (time, seq, handle))
 
     def spawn(self, gen: Generator, name: str = "process") -> Process:

@@ -19,6 +19,7 @@ network model (payloads are never actually serialized).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import inf as _INF, nextafter as _nextafter
 from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Protocol, Tuple
 
 from heapq import heappush as _heappush  # repro: allow[PROTO003] broadcast inlines the kernel's pooled post_at
@@ -409,7 +410,13 @@ class Network:
             if last_arrival is None:
                 last_arrival = self._last_arrival[src] = {}
             floor = last_arrival.get(dst, 0.0)
-            if arrival < floor:
+            if sim._tie_key is not None:
+                # under RaceSan's tie permutation a same-link arrival
+                # tie would let the shuffle break the FIFO contract;
+                # an ulp bump keeps the connection strictly ordered
+                if arrival <= floor:
+                    arrival = _nextafter(floor, _INF)
+            elif arrival < floor:
                 arrival = floor
             last_arrival[dst] = arrival
         epoch = dst_node.epoch
@@ -459,6 +466,7 @@ class Network:
         heap = sim._heap
         push = _heappush
         nextseq = sim._seq.__next__
+        tie_key = sim._tie_key
         new_handle = EventHandle  # repro: allow[PROTO003] broadcast inlines the kernel's pooled post_at
         nic = src_node.nic
         tx_duration = wire_bytes * 8.0 / nic.bandwidth_bps
@@ -511,7 +519,11 @@ class Network:
                 else:
                     arrival = done + latency_delay(src_site, dst_node.site, rng)
             floor = last_arrival.get(dst, 0.0)
-            if arrival < floor:
+            if tie_key is not None:
+                # same ulp-bump as send(): FIFO survives the permutation
+                if arrival <= floor:
+                    arrival = _nextafter(floor, _INF)
+            elif arrival < floor:
                 arrival = floor
             last_arrival[dst] = arrival
             # post_at(arrival, deliver, src, dst, payload, epoch), inlined
@@ -527,6 +539,8 @@ class Network:
                 )
                 handle.pooled = True
             handle.seq = seq = nextseq()
+            if tie_key is not None:
+                seq = tie_key(seq)
             push(heap, (arrival, seq, handle))
         # no user code runs between loop iterations (post_at only queues),
         # so folding the counter updates after the loop is unobservable

@@ -535,6 +535,39 @@ def write_docs(tmp_path):
     return paths
 
 
+class TestRenderHtml:
+    """The restricted-markdown -> self-contained HTML conversion."""
+
+    @staticmethod
+    def render(markdown):
+        from repro.bench.report import render_html
+
+        return render_html(markdown)
+
+    def test_headings_and_paragraphs(self):
+        text = self.render("# Title\n\nSome prose\nacross lines.\n")
+        assert "<h1>Title</h1>" in text
+        assert "<p>Some prose across lines.</p>" in text
+
+    def test_table_conversion(self):
+        text = self.render(
+            "| a | b |\n|---|---|\n| 1 | 2 |\n| 3 | 4 |\n"
+        )
+        assert "<th>a</th><th>b</th>" in text.replace("\n", "")
+        assert "<td>3</td><td>4</td>" in text.replace("\n", "")
+        assert "|---" not in text
+
+    def test_inline_spans_and_escaping(self):
+        text = self.render("value `x < 1` is **best**\n")
+        assert "<code>x &lt; 1</code>" in text
+        assert "<strong>best</strong>" in text
+
+    def test_notes_and_lists(self):
+        text = self.render("> note: beware\n\n- first\n- second\n")
+        assert "<blockquote>" in text
+        assert "<li>first</li>" in text and "<li>second</li>" in text
+
+
 class TestReportCLI:
     def test_report_success_and_outputs(self, tmp_path, capsys):
         from repro.bench.__main__ import main
@@ -593,6 +626,25 @@ class TestReportCLI:
         )
         assert code == 0
         assert "# Benchmark ranking" in summary.read_text(encoding="utf-8")
+        capsys.readouterr()
+
+    def test_html_output(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        paths = write_docs(tmp_path)
+        out_html = tmp_path / "report.html"
+        code = main(
+            ["report", *paths, "--out", str(tmp_path / "r.md"),
+             "--html", str(out_html)]
+        )
+        assert code == 0
+        text = out_html.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<table>" in text and "</table>" in text
+        assert "Benchmark experiment report" in text
+        # self-contained: inline CSS, no external assets or scripts
+        assert "<style>" in text
+        assert "src=" not in text and "<script" not in text
         capsys.readouterr()
 
     def test_history_append_cli(self, tmp_path, capsys):

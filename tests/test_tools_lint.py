@@ -72,3 +72,18 @@ class TestAnalysisRulesAcceptedByLint:
         findings = run_checker("x = 1  # repro: allow[DET004] fifo contract\n")
         codes = {code for _, code, _ in findings}
         assert "SUP001" not in codes
+
+    def test_flow_rule_suppression_not_unknown(self):
+        findings = run_checker("x = 1  # repro: allow[FLOW001] CFT by design\n")
+        codes = {code for _, code, _ in findings}
+        assert "SUP001" not in codes
+
+    def test_racesan_rule_suppression_not_unknown(self):
+        findings = run_checker("x = 1  # repro: allow[RACESAN001] benign\n")
+        codes = {code for _, code, _ in findings}
+        assert "SUP001" not in codes
+
+    def test_unknown_flow_rule_still_sup001(self):
+        findings = run_checker("x = 1  # repro: " "allow[FLOW999]\n")
+        codes = {code for _, code, _ in findings}
+        assert "SUP001" in codes
