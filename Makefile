@@ -14,6 +14,10 @@ RECOVERY_OUT ?= faults-recovery.json
 SMARTBFT_SEEDS ?= 25
 SMARTBFT_OUT ?= faults-smartbft.json
 
+# overload-profile exploration knobs (see docs/WORKLOADS.md)
+OVERLOAD_SEEDS ?= 25
+OVERLOAD_OUT ?= faults-overload.json
+
 # benchmark harness knobs (see docs/BENCHMARKS.md)
 BASELINE ?= benchmarks/baselines/BENCH_smoke.json
 CANDIDATE ?= BENCH_smoke.json
@@ -35,7 +39,7 @@ FLOW_GRAPH ?= flow-graph.json
 RACESAN_OUT ?= racesan-report.json
 RACESAN_K ?= 8
 
-.PHONY: test lint analyze flow detsan racesan ci faults-smoke faults-explore faults-recovery faults-smartbft bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline bench-report bench-sweep
+.PHONY: test lint analyze flow detsan racesan ci faults-smoke faults-explore faults-recovery faults-smartbft faults-overload bench-smoke bench-check bench-baseline bench-full bench-kernel bench-kernel-baseline bench-report bench-sweep
 
 ## tier-1: the whole test suite (includes the 25-seed explorer run)
 test:
@@ -71,7 +75,7 @@ racesan:
 		--permutations $(RACESAN_K) --json $(RACESAN_OUT)
 
 ## everything CI's per-commit job runs, in order
-ci: lint analyze flow test faults-smoke faults-recovery faults-smartbft bench-smoke bench-check bench-kernel bench-report
+ci: lint analyze flow test faults-smoke faults-recovery faults-smartbft faults-overload bench-smoke bench-check bench-kernel bench-report
 
 ## quick confidence check: 5 explorer seeds (runs in seconds)
 faults-smoke:
@@ -91,6 +95,14 @@ faults-smartbft:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults \
 		--seeds $(SMARTBFT_SEEDS) --profile smartbft \
 		--out $(SMARTBFT_OUT)
+
+## adversarial-overload exploration: client floods against the
+## admission-controlled service, judged by the no-silent-drop
+## backpressure invariant (make faults-overload OVERLOAD_SEEDS=200)
+faults-overload:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.faults \
+		--seeds $(OVERLOAD_SEEDS) --profile overload \
+		--out $(OVERLOAD_OUT)
 
 ## opt-in deep exploration: make faults-explore SEEDS=500
 faults-explore:

@@ -1,0 +1,53 @@
+"""Overload: goodput must saturate, not collapse, past the knee.
+
+Runs the registered ``overload`` matrix (open-loop multi-tenant
+workload from :mod:`repro.workload` against the admission-controlled
+service) and asserts the robustness properties docs/WORKLOADS.md
+promises:
+
+- goodput at 4x the saturation offered load stays within 80% of the
+  peak across the sweep (no congestion collapse);
+- p99 admitted latency stays bounded under overload -- backpressure
+  sheds excess instead of queueing it;
+- Jain fairness over the honest tenants stays >= 0.9 even when one
+  tenant floods duplicates at 2x the whole service's saturation rate.
+"""
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+
+def test_goodput_saturates_instead_of_collapsing(bench_result):
+    result = bench_result("overload")
+    for adversary in ("none", "duplicate-flood"):
+        goodput = {
+            point.params["load_multiplier"]: point.metrics["goodput_per_s"].median
+            for point in result.points
+            if point.params["adversary"] == adversary
+        }
+        peak = max(goodput.values())
+        assert goodput[4.0] >= 0.8 * peak, (adversary, goodput)
+        # below the knee the service keeps up with what is offered
+        assert goodput[0.5] < goodput[4.0] * 1.2, (adversary, goodput)
+
+
+def test_p99_admitted_latency_stays_bounded(bench_result):
+    result = bench_result("overload")
+    for point in result.points:
+        assert point.metrics["p99_latency_s"].median < 1.0, point.params
+
+
+def test_fairness_survives_duplicate_flood(bench_result):
+    result = bench_result("overload")
+    for point in result.points:
+        assert point.metrics["fairness"].median >= 0.9, point.params
+
+
+def test_overload_sheds_explicitly(bench_result):
+    result = bench_result("overload")
+    for point in result.points:
+        shed = point.metrics["shed_fraction"].median
+        if point.params["load_multiplier"] >= 4.0:
+            assert shed > 0.5, point.params
+        assert shed < 1.0, point.params

@@ -69,12 +69,14 @@ from .suppress import (
 REPO_ROOT = Path(__file__).resolve().parents[3]
 
 #: Default analysis surface: the four protocol packages named by the
-#: paper's architecture (consensus x2, ordering service, fabric layer).
+#: paper's architecture (consensus x2, ordering service, fabric layer),
+#: plus the workload engine that drives traffic into them.
 DEFAULT_FLOW_PATHS = (
     "src/repro/smart",
     "src/repro/smart2",
     "src/repro/ordering",
     "src/repro/fabric",
+    "src/repro/workload",
 )
 
 #: Attribute-chain vocabulary of protocol/durable state.  Deliberately

@@ -678,3 +678,109 @@ def bakeoff_orderers(ctx: BenchContext) -> Dict[str, float]:
         "dissemination_bytes": float(run.dissemination_bytes),
         "blocks": float(blocks),
     }
+
+
+# ----------------------------------------------------------------------
+# Overload: goodput under open-loop pressure and adversarial floods
+# ----------------------------------------------------------------------
+@REGISTRY.register(
+    name="overload",
+    description="Open-loop overload sweep: per-tenant goodput, p99 "
+    "admitted latency and Jain fairness vs offered load (multiples of "
+    "the admission-controlled saturation rate), with and without a "
+    "one-tenant duplicate flood.  Admission control must make goodput "
+    "saturate instead of collapse (docs/WORKLOADS.md).",
+    matrix={
+        "load_multiplier": (0.5, 1.0, 2.0, 4.0),
+        "adversary": ("none", "duplicate-flood"),
+        "saturation_rate": (800.0,),
+        "tenants": (4,),
+        "duration": (2.0,),
+        "block_size": (25,),
+    },
+    smoke_matrix={
+        "load_multiplier": (0.5, 1.0, 4.0),
+        "adversary": ("none", "duplicate-flood"),
+        "saturation_rate": (400.0,),
+        "tenants": (4,),
+        "duration": (1.5,),
+        "block_size": (25,),
+    },
+    directions={
+        "goodput_per_s": "higher",
+        "p99_latency_s": "lower",
+        "fairness": "higher",
+        "shed_fraction": "lower",
+        "offered": "higher",
+        "committed": "higher",
+    },
+    tags=("overload", "workload", "admission"),
+)
+def overload(ctx: BenchContext) -> Dict[str, float]:
+    from repro.ordering import AdmissionConfig
+    from repro.workload import DuplicateFlood, RawProfile, TenantSpec, WorkloadEngine
+
+    num_tenants = ctx["tenants"]
+    saturation = ctx["saturation_rate"]
+    duration = ctx["duration"]
+    share = saturation / num_tenants  # per-tenant fair share
+    num_frontends = 2
+    config = OrderingServiceConfig(
+        f=1,
+        channel=ChannelConfig(
+            "ch0", max_message_count=ctx["block_size"], batch_timeout=0.05
+        ),
+        num_frontends=num_frontends,
+        physical_cores=None,
+        enable_batch_timeout=True,
+        seed=ctx.seed,
+        # per-tenant budget = the fair share; the window stays loose so
+        # the token buckets, not the window, shape the steady state
+        admission=AdmissionConfig(
+            tenant_rate=share,
+            tenant_burst=share * 0.25,
+            max_in_flight=600,
+        ),
+    )
+    service = build_ordering_service(config, observability=ctx.obs)
+    # tenants are pinned to frontends so each tenant faces exactly one
+    # token bucket (admission state is per frontend)
+    tenants = [
+        TenantSpec(
+            name=f"tenant{i}",
+            sessions=10_000,
+            session_rate=share * ctx["load_multiplier"] / 10_000,
+            arrival="poisson",
+            profile=RawProfile(channel="ch0", envelope_size=512),
+            frontend_index=i % num_frontends,
+        )
+        for i in range(num_tenants)
+    ]
+    if ctx["adversary"] == "duplicate-flood":
+        tenants.append(
+            TenantSpec(
+                name="mallory",
+                session_rate=2.0 * saturation,
+                arrival="fixed",
+                profile=DuplicateFlood(channel="ch0", envelope_size=512),
+                frontend_index=0,
+            )
+        )
+    engine = WorkloadEngine(
+        service.sim,
+        service.frontends,
+        tenants,
+        streams=RandomStreams(ctx.seed),
+        duration=duration,
+    )
+    engine.start()
+    service.run(duration + 1.5)  # drain the in-flight tail
+    report = engine.report(honest_only_fairness=True)
+    return {
+        "goodput_per_s": report.committed / duration,
+        "p99_latency_s": report.p99_latency_s,
+        "fairness": report.fairness,
+        "shed_fraction": report.shed_fraction,
+        "offered": float(report.offered),
+        "committed": float(report.committed),
+    }

@@ -5,6 +5,13 @@ The paper drives the service with clients that emulate frontends
 keep node throughput always above 1000 transactions/second").  We
 provide an open-loop generator (fixed aggregate rate, optionally
 jittered) and a simple closed-loop client pool.
+
+Both are thin shims over :mod:`repro.workload` -- the open-loop
+generator is a single-tenant :class:`~repro.workload.engine.WorkloadEngine`
+with fixed-interval arrivals, and the closed-loop pool is
+:class:`~repro.workload.engine.ClosedLoopDriver` under its historical
+name.  Multi-tenant, Poisson/bursty and adversarial traffic live in
+the workload package.
 """
 
 from __future__ import annotations
@@ -16,6 +23,9 @@ from repro.fabric.envelope import Envelope
 from repro.ordering.frontend import Frontend
 from repro.sim.core import Simulator
 from repro.sim.randomness import RandomStreams
+from repro.workload.arrivals import make_arrivals
+from repro.workload.engine import ClosedLoopDriver, TenantSpec, WorkloadEngine
+from repro.workload.profiles import RawProfile
 
 
 def envelope_stream(
@@ -30,7 +40,13 @@ def envelope_stream(
 class OpenLoopGenerator:
     """Submits envelopes at a fixed aggregate rate, round-robin over
     frontends (each frontend then behaves like the paper's client
-    threads feeding the ordering cluster)."""
+    threads feeding the ordering cluster).
+
+    Shim over a single-tenant :class:`~repro.workload.engine.WorkloadEngine`
+    with fixed-interval arrivals; kept so existing experiments and
+    seeds stay byte-identical (same "workload" stream, same draw
+    order, no draws when unjittered).
+    """
 
     sim: Simulator
     frontends: Sequence[Frontend]
@@ -40,77 +56,37 @@ class OpenLoopGenerator:
     duration: float
     jitter_fraction: float = 0.0
     streams: Optional[RandomStreams] = None
-    submitted: int = 0
-    _stopped: bool = False
+    _engine: Optional[WorkloadEngine] = field(default=None, init=False, repr=False)
 
     def start(self) -> None:
-        if self.rate_per_second <= 0:
-            raise ValueError("rate must be positive")
-        self._interval = 1.0 / self.rate_per_second
-        self._deadline = self.sim.now + self.duration
-        self._rng = (self.streams or RandomStreams(0)).stream("workload")
-        self.sim.call_soon(self._tick)
+        spec = TenantSpec(
+            name="loadgen",
+            arrival=make_arrivals(
+                "fixed", self.rate_per_second, jitter_fraction=self.jitter_fraction
+            ),
+            profile=RawProfile(
+                channel=self.channel_id, envelope_size=self.envelope_size
+            ),
+            stream="workload",
+        )
+        self._engine = WorkloadEngine(
+            self.sim,
+            self.frontends,
+            [spec],
+            streams=self.streams or RandomStreams(0),
+            duration=self.duration,
+            track_latency=False,
+        )
+        self._engine.start()
 
     def stop(self) -> None:
-        self._stopped = True
-
-    def _tick(self) -> None:
-        if self._stopped or self.sim.now > self._deadline:
-            return
-        frontend = self.frontends[self.submitted % len(self.frontends)]
-        envelope = Envelope.raw(
-            self.channel_id, self.envelope_size, submitter="loadgen"
-        )
-        frontend.submit(envelope)
-        self.submitted += 1
-        delay = self._interval
-        if self.jitter_fraction > 0:
-            delay *= 1.0 + self.jitter_fraction * (2.0 * self._rng.random() - 1.0)
-        self.sim.post(delay, self._tick)
-
-
-@dataclass
-class ClosedLoopClients:
-    """``clients`` concurrent submitters, each sending its next
-    envelope as soon as the previous one is committed at its frontend.
-
-    Uses the frontend's ``on_block`` hook as the completion signal, so
-    in-flight envelopes are bounded by the client count -- useful to
-    probe latency at a fixed concurrency instead of a fixed rate.
-    """
-
-    sim: Simulator
-    frontend: Frontend
-    channel_id: str
-    envelope_size: int
-    clients: int
-    max_envelopes: int
-    submitted: int = 0
-    completed: int = 0
-    _outstanding: dict = field(default_factory=dict)
-
-    def start(self) -> None:
-        self.frontend.on_block.append(self._on_block)
-        for _ in range(min(self.clients, self.max_envelopes)):
-            self._submit_next()
-
-    def _submit_next(self) -> None:
-        if self.submitted >= self.max_envelopes:
-            return
-        envelope = Envelope.raw(
-            self.channel_id, self.envelope_size, submitter="closedloop"
-        )
-        self._outstanding[envelope.envelope_id] = envelope
-        self.submitted += 1
-        self.frontend.submit(envelope)
-
-    def _on_block(self, block) -> None:
-        for envelope in block.envelopes:
-            if envelope.envelope_id in self._outstanding:
-                del self._outstanding[envelope.envelope_id]
-                self.completed += 1
-                self._submit_next()
+        if self._engine is not None:
+            self._engine.stop()
 
     @property
-    def done(self) -> bool:
-        return self.completed >= self.max_envelopes
+    def submitted(self) -> int:
+        return self._engine.offered if self._engine is not None else 0
+
+
+class ClosedLoopClients(ClosedLoopDriver):
+    """Historical name for :class:`~repro.workload.engine.ClosedLoopDriver`."""

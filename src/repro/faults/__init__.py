@@ -28,6 +28,7 @@ from repro.faults.actions import (
     Duplicate,
     EquivocatePropose,
     FaultAction,
+    FloodClient,
     Match,
     MuteReplica,
     Partition,
@@ -48,6 +49,7 @@ from repro.faults.explorer import (
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import (
     BlockRecorder,
+    SubmissionRecorder,
     Violation,
     VoteRecorder,
     check_durable_logs,
@@ -55,6 +57,7 @@ from repro.faults.invariants import (
     check_history_prefixes,
     check_liveness,
     check_log_agreement,
+    check_no_silent_drop,
     check_ordering_service,
     replica_log_digests,
 )
@@ -77,6 +80,7 @@ __all__ = [
     "FaultAction",
     "FaultEvent",
     "FaultInjector",
+    "FloodClient",
     "Match",
     "MuteReplica",
     "Partition",
@@ -84,6 +88,7 @@ __all__ = [
     "RunResult",
     "Scenario",
     "SkipQuorumChecks",
+    "SubmissionRecorder",
     "SuppressSync",
     "Violation",
     "VoteRecorder",
@@ -92,6 +97,7 @@ __all__ = [
     "check_history_prefixes",
     "check_liveness",
     "check_log_agreement",
+    "check_no_silent_drop",
     "check_ordering_service",
     "explore",
     "replica_log_digests",

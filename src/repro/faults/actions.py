@@ -584,3 +584,112 @@ class SkipQuorumChecks(_ControlFault):
     """
 
     attribute = "skip_quorum_checks"
+
+
+#: network id the flood attacker registers under -- far outside every
+#: replica / frontend / admin / TTC id range
+ATTACKER_ID_BASE = 900_000
+
+#: envelope-id block the flood allocates from, far above the pinned
+#: workload ids the explorer uses (run digests hash envelope ids, so
+#: flood ids must be reproducible and collision-free)
+FLOOD_ID_BASE = 10_000_000
+
+
+class _Attacker:
+    """Network endpoint of a flood source (absorbs any replies)."""
+
+    def deliver(self, src, message) -> None:
+        pass
+
+
+class FloodClient(FaultAction):
+    """Adversarial submission flood into one frontend.
+
+    While active, injects ``SubmitEnvelope`` messages into the target
+    frontend's network inbox at ``rate`` per second -- exactly what a
+    botnet of lightweight clients looks like to the ordering service.
+    Every ``unique_every``-th envelope carries a fresh identity; the
+    rest replay the previous one (a duplicate flood on the wire).
+    Envelope ids are pinned from ``id_base`` so fault traces and ledger
+    digests stay reproducible run over run.
+    """
+
+    def __init__(
+        self,
+        frontend,
+        rate: float = 2000.0,
+        channel: str = "ch0",
+        payload_size: int = 256,
+        submitter: str = "mallory",
+        unique_every: int = 4,
+        id_base: int = FLOOD_ID_BASE,
+        attacker_id=None,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.frontend = frontend
+        self.rate = rate
+        self.channel = channel
+        self.payload_size = payload_size
+        self.submitter = submitter
+        self.unique_every = max(1, unique_every)
+        self.id_base = id_base
+        self.attacker_id = (
+            attacker_id if attacker_id is not None else ATTACKER_ID_BASE
+        )
+        self._on = False
+        self._registered = False
+        self.sent = 0
+        self._current_id: Optional[int] = None
+        self._next_id = id_base
+
+    def start(self, ctx) -> None:
+        # pure-configuration contract: reset all run state on start so
+        # the same action object replays identically against a fresh
+        # deployment (the shrinker relies on this)
+        self._on = True
+        self.sent = 0
+        self._current_id = None
+        self._next_id = self.id_base
+        if self.attacker_id not in ctx.network.node_ids():
+            ctx.network.register(self.attacker_id, _Attacker())
+            self._registered = True
+        self._tick(ctx)
+
+    def stop(self, ctx) -> None:
+        self._on = False
+        if self._registered:
+            ctx.network.unregister(self.attacker_id)
+            self._registered = False
+
+    def _tick(self, ctx) -> None:
+        if not self._on:
+            return
+        from repro.fabric.api import SubmitEnvelope
+        from repro.fabric.envelope import Envelope
+
+        if self._current_id is None or self.sent % self.unique_every == 0:
+            self._current_id = self._next_id
+            self._next_id += 1
+        envelope = Envelope(
+            channel_id=self.channel,
+            transaction=None,
+            payload_size=self.payload_size,
+            submitter=self.submitter,
+            envelope_id=self._current_id,
+        )
+        self.sent += 1
+        ctx.network.send(
+            self.attacker_id,
+            self.frontend,
+            SubmitEnvelope(envelope),
+            size_bytes=self.payload_size,
+        )
+        ctx.sim.post(1.0 / self.rate, self._tick, ctx)
+
+    def describe(self) -> str:
+        return (
+            f"flood-client dst={self.frontend} rate={self.rate} "
+            f"unique-every={self.unique_every}"
+        )

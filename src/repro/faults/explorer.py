@@ -23,6 +23,8 @@ from repro.crypto.hashing import sha256_hex
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope
 from repro.faults.actions import (
+    ATTACKER_ID_BASE,
+    FLOOD_ID_BASE,
     CensorClients,
     CorruptWrites,
     CrashReplica,
@@ -30,6 +32,7 @@ from repro.faults.actions import (
     Drop,
     Duplicate,
     EquivocatePropose,
+    FloodClient,
     Match,
     Partition,
     Reorder,
@@ -37,13 +40,16 @@ from repro.faults.actions import (
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import (
     BlockRecorder,
+    SubmissionRecorder,
     Violation,
     VoteRecorder,
+    check_no_silent_drop,
     check_ordering_service,
     replica_log_digests,
 )
 from repro.faults.scenario import FaultEvent, Scenario
 from repro.smart.view import bft_group_size
+from repro.ordering.admission import AdmissionConfig
 from repro.ordering.service import (
     FRONTEND_ID_BASE,
     OrderingServiceConfig,
@@ -80,8 +86,17 @@ class ExplorerConfig:
     #: the no-equivocation-by-amnesia invariant (docs/RECOVERY.md);
     #: "smartbft" runs the same invariants against the SmartBFT backend
     #: (repro.smart2), sampling leader censorship alongside the message
-    #: and crash faults (docs/SMARTBFT.md)
+    #: and crash faults (docs/SMARTBFT.md); "overload" enables admission
+    #: control, leads every schedule with an adversarial client flood
+    #: and additionally checks the no-silent-drop backpressure
+    #: invariant (docs/WORKLOADS.md)
     profile: str = "default"
+    #: admission-control knobs of the overload profile (per tenant and
+    #: per frontend; generous enough that the honest workload passes
+    #: untouched while floods are shed explicitly)
+    admission_rate: float = 200.0
+    admission_burst: float = 50.0
+    admission_window: int = 256
 
     @property
     def n(self) -> int:
@@ -159,6 +174,22 @@ SMARTBFT_KINDS = (
 )
 
 
+#: Fault kinds of the overload profile.  ``flood`` is the signature
+#: fault (an adversarial client hammering one frontend with duplicate
+#: submissions over the wire); the Byzantine replica kinds are excluded
+#: so every violation under overload is attributable to the
+#: backpressure path, not to forged protocol messages.
+OVERLOAD_KINDS = (
+    "flood",
+    "drop",
+    "delay",
+    "duplicate",
+    "reorder",
+    "crash",
+    "partition",
+)
+
+
 def sample_schedule(seed: int, cfg: Optional[ExplorerConfig] = None) -> List[FaultEvent]:
     """Derive a fault schedule deterministically from ``seed``."""
     cfg = cfg or ExplorerConfig()
@@ -166,6 +197,8 @@ def sample_schedule(seed: int, cfg: Optional[ExplorerConfig] = None) -> List[Fau
         return _sample_recovery_schedule(seed, cfg)
     if cfg.profile == "smartbft":
         return _sample_smartbft_schedule(seed, cfg)
+    if cfg.profile == "overload":
+        return _sample_overload_schedule(seed, cfg)
     rng = RandomStreams(seed).stream("fault-schedule")
     n = cfg.n
     count = rng.randint(cfg.min_events, cfg.max_events)
@@ -347,6 +380,83 @@ def _sample_smartbft_schedule(seed: int, cfg: ExplorerConfig) -> List[FaultEvent
     return events
 
 
+def _sample_overload_schedule(seed: int, cfg: ExplorerConfig) -> List[FaultEvent]:
+    """Schedules that lead with adversarial floods (a separate stream,
+    so the default profile's seeds stay byte-identical).
+
+    Every schedule's first sampled event is a ``flood`` -- an attacker
+    injecting duplicate-heavy submissions into one frontend at hundreds
+    to thousands of envelopes per second -- followed by message- and
+    crash-level noise.  At most one flood per frontend (each gets its
+    own attacker id and pinned envelope-id block, keeping run digests
+    reproducible), at most one crash and one partition per schedule.
+    """
+    rng = RandomStreams(seed).stream("fault-schedule/overload")
+    n = cfg.n
+    count = rng.randint(cfg.min_events, cfg.max_events)
+    crash_used = split_used = False
+    floods_used = 0
+    events: List[FaultEvent] = []
+    for index in range(count):
+        kind = "flood" if index == 0 else rng.choice(OVERLOAD_KINDS)
+        at = round(rng.uniform(*cfg.fault_window), 3)
+        duration = round(rng.uniform(0.4, 1.5), 3)
+        if kind == "flood" and floods_used >= cfg.num_frontends:
+            kind = "delay"
+        if kind == "crash" and crash_used:
+            kind = "delay"
+        if kind == "partition" and split_used:
+            kind = "delay"
+
+        if kind == "flood":
+            target = FRONTEND_ID_BASE + rng.randrange(cfg.num_frontends)
+            rate = round(rng.uniform(400.0, 2000.0), 1)
+            unique_every = rng.randint(1, 6)
+            action = FloodClient(
+                target,
+                rate=rate,
+                channel=cfg.channel,
+                payload_size=cfg.payload_size,
+                submitter=f"mallory{floods_used}",
+                unique_every=unique_every,
+                id_base=FLOOD_ID_BASE + floods_used * 1_000_000,
+                attacker_id=ATTACKER_ID_BASE + floods_used,
+            )
+            floods_used += 1
+        elif kind == "drop":
+            src, dst = rng.sample(range(n), 2)
+            rate = round(rng.uniform(0.3, 0.9), 2)
+            action = Drop(Match(src=src, dst=dst), rate=rate, stream=f"drop-{index}")
+        elif kind == "delay":
+            src, dst = rng.sample(range(n), 2)
+            delay = round(rng.uniform(0.02, 0.15), 3)
+            action = Delay(Match(src=src, dst=dst), delay=delay)
+        elif kind == "duplicate":
+            src, dst = rng.sample(range(n), 2)
+            copies = rng.randint(2, 3)
+            action = Duplicate(Match(src=src, dst=dst), copies=copies, spacing=0.004)
+        elif kind == "reorder":
+            src, dst = rng.sample(range(n), 2)
+            delay = round(rng.uniform(0.01, 0.06), 3)
+            rate = round(rng.uniform(0.4, 1.0), 2)
+            action = Reorder(
+                Match(src=src, dst=dst), delay=delay, rate=rate,
+                stream=f"reorder-{index}",
+            )
+        elif kind == "crash":
+            crash_used = True
+            action = CrashReplica(rng.randrange(n))
+        else:  # partition
+            split_used = True
+            size = rng.randint(1, n // 2)
+            isolated = sorted(rng.sample(range(n), size))
+            rest = [p for p in range(n) if p not in isolated]
+            action = Partition(isolated, rest)
+        events.append(FaultEvent(at=at, action=action, duration=duration))
+    events.sort(key=lambda e: e.at)
+    return events
+
+
 def run_schedule(
     seed: int, events: List[FaultEvent], cfg: Optional[ExplorerConfig] = None
 ) -> RunResult:
@@ -354,6 +464,7 @@ def run_schedule(
     invariants."""
     cfg = cfg or ExplorerConfig()
     durable = cfg.profile == "recovery"
+    overload = cfg.profile == "overload"
     service = build_ordering_service(
         OrderingServiceConfig(
             orderer="smartbft" if cfg.profile == "smartbft" else "bftsmart",
@@ -369,10 +480,20 @@ def run_schedule(
             enable_batch_timeout=True,
             durable_wal=durable,
             seed=seed,
+            admission=(
+                AdmissionConfig(
+                    tenant_rate=cfg.admission_rate,
+                    tenant_burst=cfg.admission_burst,
+                    max_in_flight=cfg.admission_window,
+                )
+                if overload
+                else None
+            ),
         )
     )
     recorder = BlockRecorder(service.network)
     vote_recorder = VoteRecorder(service.network) if durable else None
+    submissions = SubmissionRecorder(service.frontends) if overload else None
     injector = FaultInjector(service.network, service.replicas, seed=seed)
     Scenario(events, heal_at=cfg.heal_at).install(injector)
 
@@ -394,15 +515,35 @@ def run_schedule(
             i % cfg.num_frontends,
         )
 
-    service.sim.run_until(
-        lambda: service.total_delivered() >= cfg.envelopes, cfg.deadline
-    )
+    if submissions is not None:
+        # under overload some honest envelopes are legitimately (and
+        # explicitly) rejected, so "delivered >= offered" is the wrong
+        # finish line: run until the floods healed and every *admitted*
+        # envelope has been committed
+        load_end = cfg.load_start + cfg.load_window
+        quiesce_at = max(load_end, cfg.heal_at) + 0.001
+        service.sim.run_until(
+            lambda: service.sim.now >= quiesce_at
+            and not submissions.unresolved_ids(),
+            cfg.deadline,
+        )
+    else:
+        service.sim.run_until(
+            lambda: service.total_delivered() >= cfg.envelopes, cfg.deadline
+        )
     # make sure healing happened even if delivery finished early, so the
     # deployment is always left in (and checked in) a fault-free state
     if service.sim.now < cfg.heal_at:
         service.sim.run(until=cfg.heal_at + 0.001)
 
-    violations = check_ordering_service(service, recorder, vote_recorder=vote_recorder)
+    violations = check_ordering_service(
+        service,
+        recorder,
+        vote_recorder=vote_recorder,
+        expect_live=not overload,
+    )
+    if submissions is not None:
+        violations += check_no_silent_drop(submissions)
     frontend_digests = {
         frontend.name: frontend.ledger_digest().hex()
         for frontend in service.frontends

@@ -258,6 +258,84 @@ def check_frontend_agreement(frontends: Sequence) -> List[Violation]:
 
 
 # ----------------------------------------------------------------------
+# backpressure: no silent drops
+# ----------------------------------------------------------------------
+class SubmissionRecorder:
+    """Records the explicit outcome of every frontend submission.
+
+    Wraps each frontend's ``submit`` -- covering both direct calls and
+    ``SubmitEnvelope`` deliveries arriving over the network (adversarial
+    floods) -- and taps its ``on_block`` hook.  Afterwards every offered
+    envelope id can be classified: *admitted* (verdict ``None``),
+    *explicitly rejected* (a :class:`~repro.ordering.admission.Rejected`
+    with a reason) or *committed*.  :func:`check_no_silent_drop` turns
+    the classification into the backpressure invariant.
+    """
+
+    def __init__(self, frontends=()):
+        #: envelope id -> verdict of each submission (None = admitted)
+        self.outcomes: Dict[int, List[Any]] = {}
+        self.committed: set = set()
+        for frontend in frontends:
+            self.attach(frontend)
+
+    def attach(self, frontend) -> None:
+        original = frontend.submit
+
+        def recording_submit(envelope, _original=original):
+            verdict = _original(envelope)
+            self.outcomes.setdefault(envelope.envelope_id, []).append(verdict)
+            return verdict
+
+        frontend.submit = recording_submit
+        frontend.on_block.append(self._on_block)
+
+    def _on_block(self, block) -> None:
+        for envelope in block.envelopes:
+            self.committed.add(envelope.envelope_id)
+
+    def admitted_ids(self) -> set:
+        return {
+            envelope_id
+            for envelope_id, verdicts in self.outcomes.items()
+            if any(verdict is None for verdict in verdicts)
+        }
+
+    def unresolved_ids(self) -> set:
+        """Admitted but not (yet) committed -- silent drops if final."""
+        return self.admitted_ids() - self.committed
+
+
+def check_no_silent_drop(recorder: SubmissionRecorder) -> List[Violation]:
+    """Every submission ends explicitly: committed, or rejected with a
+    reason.  An envelope the service accepted and then lost -- and a
+    rejection carrying no reason the client could act on -- are both
+    violations (the backpressure contract of docs/WORKLOADS.md)."""
+    violations: List[Violation] = []
+    unresolved = sorted(recorder.unresolved_ids())
+    if unresolved:
+        head = ", ".join(str(envelope_id) for envelope_id in unresolved[:8])
+        suffix = ", ..." if len(unresolved) > 8 else ""
+        violations.append(
+            Violation(
+                "no-silent-drop",
+                f"{len(unresolved)} envelope(s) admitted but never "
+                f"committed (ids {head}{suffix})",
+            )
+        )
+    for envelope_id, verdicts in sorted(recorder.outcomes.items()):
+        for verdict in verdicts:
+            if verdict is not None and not getattr(verdict, "reason", ""):
+                violations.append(
+                    Violation(
+                        "no-silent-drop",
+                        f"envelope {envelope_id} rejected without a reason",
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
 # liveness
 # ----------------------------------------------------------------------
 def check_liveness(submitted: int, delivered: int) -> List[Violation]:

@@ -130,6 +130,21 @@ class Observability:
         for frontend in service.frontends:
             frontend.obs = self
             frontend.proxy.obs = self
+            admission = getattr(frontend, "admission", None)
+            if admission is not None:
+                # queue-depth / shed-count gauges for the backpressure
+                # loop (docs/WORKLOADS.md): sampled, not event-driven,
+                # so the hot submit path stays counter-free
+                name = frontend.name
+                self.registry.gauge(
+                    f"ordering.frontend.{name}.in_flight"
+                ).track(lambda a=admission: a.in_flight)
+                self.registry.gauge(
+                    f"ordering.frontend.{name}.shed_count"
+                ).track(lambda a=admission: a.shed_count)
+                self.registry.gauge(
+                    f"ordering.frontend.{name}.admission_fairness"
+                ).track(lambda a=admission: a.fairness_index())
         for i, cpu in enumerate(service.cpus):
             if cpu is None:
                 continue
@@ -154,6 +169,17 @@ class Observability:
         rec.setdefault("submitted", now)
         self.registry.counter(
             f"ordering.frontend.{frontend_name}.envelopes_submitted"
+        ).increment()
+
+    def on_reject(
+        self, frontend_name: Any, tenant: str, reason: str, now: float
+    ) -> None:
+        """Admission control refused an envelope (explicit shed)."""
+        self.registry.counter(
+            f"ordering.frontend.{frontend_name}.rejected.{reason}"
+        ).increment()
+        self.registry.counter(
+            f"ordering.frontend.{frontend_name}.rejected_total"
         ).increment()
 
     def on_invoke(self, client_id: int, asynchronous: bool) -> None:

@@ -8,6 +8,12 @@ bridges HLF peers to the ordering cluster
 (:mod:`repro.ordering.service`).
 """
 
+from repro.ordering.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Rejected,
+    jain_fairness,
+)
 from repro.ordering.blockcutter import BlockCutter
 from repro.ordering.frontend import Frontend
 from repro.ordering.node import BFTOrderingNode, TimeToCut
@@ -19,8 +25,12 @@ from repro.ordering.service import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "BFTOrderingNode",
     "BlockCutter",
+    "Rejected",
+    "jain_fairness",
     "Frontend",
     "OrderingService",
     "OrderingServiceConfig",

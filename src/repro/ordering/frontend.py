@@ -23,7 +23,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple, Union
 from repro.crypto.keys import KeyRegistry
 from repro.fabric.api import BlockDelivery, SubmitEnvelope
 from repro.fabric.block import Block
-from repro.fabric.envelope import Envelope, check_payload_size
+from repro.fabric.envelope import Envelope, check_payload_size, payload_length
+from repro.ordering.admission import AdmissionController, Rejected
 from repro.sim.core import Simulator
 from repro.sim.monitor import StatsRegistry
 from repro.sim.network import Network
@@ -54,6 +55,7 @@ class Frontend:
         verify_signatures: bool = False,
         stats: Optional[StatsRegistry] = None,
         max_envelope_bytes: Optional[Union[int, Mapping[str, int]]] = None,
+        admission: Optional[AdmissionController] = None,
     ):
         self.sim = sim
         self.network = network
@@ -67,6 +69,12 @@ class Frontend:
         #: Fabric's AbsoluteMaxBytes ceiling -- one int for every
         #: channel or a per-channel mapping; None disables the check
         self.max_envelope_bytes = max_envelope_bytes
+        #: opt-in backpressure (docs/WORKLOADS.md); None = relay all
+        self.admission = admission
+        #: envelope id -> admitted-but-uncommitted count (a duplicate
+        #: flood admits one id many times; every admit holds a window
+        #: slot) -- bounded by the admission window, O(in-flight)
+        self._window_pending: Dict[int, int] = {}
         # instrument handles are resolved lazily on the first delivered
         # block (so registry contents match the uncached behaviour) and
         # then reused -- _record_stats runs once per block
@@ -102,25 +110,51 @@ class Frontend:
     # ------------------------------------------------------------------
     # client side: relay envelopes into the ordering cluster
     # ------------------------------------------------------------------
-    def submit(self, envelope: Envelope) -> None:
+    def submit(self, envelope: Envelope) -> Optional[Rejected]:
         """Relay an envelope to the ordering cluster (fire-and-forget).
 
-        Raises :class:`~repro.fabric.envelope.OversizedPayloadError`
-        when the payload exceeds the channel's AbsoluteMaxBytes ceiling
-        -- identically for real-bytes payloads and zero-copy handles.
+        Without an admission controller this raises
+        :class:`~repro.fabric.envelope.OversizedPayloadError` when the
+        payload exceeds the channel's AbsoluteMaxBytes ceiling --
+        identically for real-bytes payloads and zero-copy handles --
+        and returns ``None`` otherwise.  With admission control
+        attached every refusal (oversized, rate-limited, window-full)
+        becomes an explicit :class:`Rejected` verdict instead, and
+        ``None`` means the envelope was admitted and relayed.
         """
+        admission = self.admission
         ceiling = self.max_envelope_bytes
         if ceiling is not None:
             if not isinstance(ceiling, int):
                 ceiling = ceiling.get(envelope.channel_id)
             if ceiling is not None:
-                check_payload_size(envelope.payload_ref(), ceiling)
+                if admission is None:
+                    check_payload_size(envelope.payload_ref(), ceiling)
+                elif payload_length(envelope.payload_ref()) > ceiling:
+                    return self._reject(
+                        envelope, admission.reject_oversized(envelope.submitter)
+                    )
+        if admission is not None:
+            verdict = admission.admit(envelope.submitter, self.sim.now)
+            if verdict is not None:
+                return self._reject(envelope, verdict)
+            self._window_pending[envelope.envelope_id] = (
+                self._window_pending.get(envelope.envelope_id, 0) + 1
+            )
         if envelope.create_time is None:
             envelope.create_time = self.sim.now
         self.envelopes_submitted += 1
         if self.obs is not None:
             self.obs.on_submit(self.name, envelope, self.sim.now)
         self.proxy.invoke_async(envelope, size_bytes=envelope.payload_size)
+        return None
+
+    def _reject(self, envelope: Envelope, verdict: Rejected) -> Rejected:
+        if self.obs is not None:
+            self.obs.on_reject(
+                self.name, envelope.submitter, verdict.reason, self.sim.now
+            )
+        return verdict
 
     # ------------------------------------------------------------------
     # network delivery
@@ -216,6 +250,12 @@ class Frontend:
         return acc
 
     def _deliver_block(self, block: Block) -> None:
+        if self.admission is not None and self._window_pending:
+            freed = 0
+            for envelope in block.envelopes:
+                freed += self._window_pending.pop(envelope.envelope_id, 0)
+            if freed:
+                self.admission.release(freed)
         self.blocks_delivered += 1
         if self.obs is not None:
             self.obs.on_block_delivered(self.name, block, self.sim.now)

@@ -16,6 +16,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import SimulatedECDSA
 from repro.fabric.channel import ChannelConfig
 from repro.fabric.envelope import Envelope
+from repro.ordering.admission import AdmissionConfig, AdmissionController
 from repro.ordering.frontend import Frontend
 from repro.ordering.node import BFTOrderingNode, TimeToCut
 from repro.ordering.wal_codec import decode_value, encode_value
@@ -76,6 +77,11 @@ class OrderingServiceConfig:
     enable_batch_timeout: bool = False
     verify_block_signatures: bool = False
     double_sign: bool = False
+    #: opt-in admission control / backpressure: each frontend gets its
+    #: own :class:`~repro.ordering.admission.AdmissionController` built
+    #: from this config (None keeps the paper's relay-everything
+    #: frontend; see docs/WORKLOADS.md)
+    admission: Optional["AdmissionConfig"] = None
     #: give every replica a consensus WAL on simulated stable storage,
     #: enabling crash-recovery with amnesia (see docs/RECOVERY.md)
     durable_wal: bool = False
@@ -397,6 +403,9 @@ def build_ordering_service(
             view,
             accept_tentative=config.tentative_execution,
             register=False,
+            # retry backoff jitter comes from the deployment's seeded
+            # streams -- never ambient randomness (DET002)
+            rng=streams.stream(f"proxy-backoff/{client_id}"),
         )
         frontend = Frontend(
             sim=sim,
@@ -412,6 +421,11 @@ def build_ordering_service(
                 channel_id: cfg.absolute_max_bytes
                 for channel_id, cfg in channels.items()
             },
+            admission=(
+                AdmissionController(config.admission)
+                if config.admission is not None
+                else None
+            ),
         )
         network.register(client_id, frontend, site=frontend_sites[j])
         for node in nodes:

@@ -17,8 +17,9 @@ through the custom replier instead (paper section 5.1).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 
 from repro.crypto.hashing import sha256
@@ -59,6 +60,10 @@ class ServiceProxy:
         invoke_timeout: float = 4.0,
         max_retries: int = 8,
         register: bool = True,
+        backoff_factor: float = 2.0,
+        max_backoff: float = 30.0,
+        jitter_fraction: float = 0.1,
+        rng: Optional[random.Random] = None,
     ):
         self.sim = sim
         self.network = network
@@ -67,6 +72,15 @@ class ServiceProxy:
         self.accept_tentative = accept_tentative
         self.invoke_timeout = invoke_timeout
         self.max_retries = max_retries
+        #: retransmission backoff: the k-th retry waits
+        #: ``invoke_timeout * backoff_factor**k`` (capped at
+        #: ``max_backoff``), spread by ``jitter_fraction`` when a seeded
+        #: ``rng`` is supplied -- with no rng the backoff is pure
+        #: exponential, so the proxy never touches ambient randomness
+        self.backoff_factor = backoff_factor
+        self.max_backoff = max_backoff
+        self.jitter_fraction = jitter_fraction
+        self.rng = rng
         self._sequence = 0
         self._pending: Dict[int, _PendingInvocation] = {}
         self.replies_received = 0
@@ -128,6 +142,23 @@ class ServiceProxy:
             self.client_id, self.view.processes, request, request.wire_size()
         )
 
+    def retry_delay(self, retries: int) -> float:
+        """Wait before the next retransmission check.
+
+        Capped exponential backoff -- ``invoke_timeout * factor**k``,
+        never more than ``max_backoff`` -- with multiplicative jitter
+        from the proxy's seeded rng (when one is wired) so a thundering
+        herd of same-deadline clients decorrelates.  No rng, no jitter:
+        the default path stays bit-deterministic.
+        """
+        delay = min(
+            self.invoke_timeout * self.backoff_factor ** retries,
+            self.max_backoff,
+        )
+        if self.rng is not None and self.jitter_fraction > 0:
+            delay *= 1.0 + self.jitter_fraction * (2.0 * self.rng.random() - 1.0)
+        return delay
+
     def _check_retry(self, sequence: int) -> None:
         invocation = self._pending.get(sequence)
         if invocation is None:
@@ -142,7 +173,7 @@ class ServiceProxy:
         if self.obs is not None:
             self.obs.on_retry(self.client_id)
         self._transmit(invocation.request)
-        self.sim.post(self.invoke_timeout, self._check_retry, sequence)
+        self.sim.post(self.retry_delay(invocation.retries), self._check_retry, sequence)
 
     # ------------------------------------------------------------------
     # replies

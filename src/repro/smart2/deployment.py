@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import SimulatedECDSA
 from repro.fabric.envelope import Envelope
+from repro.ordering.admission import AdmissionController
 from repro.ordering.service import (
     FRONTEND_ID_BASE,
     OrderingServiceConfig,
@@ -190,6 +191,11 @@ def build_smartbft_service(
                 for channel_id, cfg in channels.items()
             },
             request_timeout=config.request_timeout,
+            admission=(
+                AdmissionController(config.admission)
+                if config.admission is not None
+                else None
+            ),
         )
         network.register(client_id, frontend, site=frontend_sites[j])
         frontend.start()

@@ -22,7 +22,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple, Union
 from repro.crypto.keys import KeyRegistry
 from repro.fabric.api import BlockDelivery, SubmitEnvelope
 from repro.fabric.block import Block
-from repro.fabric.envelope import Envelope, check_payload_size
+from repro.fabric.envelope import Envelope, check_payload_size, payload_length
+from repro.ordering.admission import AdmissionController, Rejected
 from repro.sim.core import Simulator
 from repro.sim.monitor import StatsRegistry
 from repro.sim.network import Network
@@ -45,6 +46,7 @@ class QuorumFrontend:
         stats: Optional[StatsRegistry] = None,
         max_envelope_bytes: Optional[Union[int, Mapping[str, int]]] = None,
         request_timeout: float = 2.0,
+        admission: Optional[AdmissionController] = None,
     ):
         self.sim = sim
         self.network = network
@@ -59,6 +61,8 @@ class QuorumFrontend:
         self.stats = stats or StatsRegistry()
         self.max_envelope_bytes = max_envelope_bytes
         self.request_timeout = request_timeout
+        #: opt-in backpressure (docs/WORKLOADS.md); None = relay all
+        self.admission = admission
         #: same observability shape as the BFT-SMaRt frontend, whose
         #: hub attaches to ``frontend.proxy`` as well
         self.proxy = self
@@ -109,19 +113,31 @@ class QuorumFrontend:
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
-    def submit(self, envelope: Envelope) -> None:
+    def submit(self, envelope: Envelope) -> Optional[Rejected]:
         """Send an envelope to the ordering cluster (fire-and-forget).
 
-        Raises :class:`~repro.fabric.envelope.OversizedPayloadError`
-        when the payload exceeds the channel's AbsoluteMaxBytes ceiling
-        -- same contract as the BFT-SMaRt frontend.
+        Same contract as the BFT-SMaRt frontend: without admission
+        control, oversized payloads raise
+        :class:`~repro.fabric.envelope.OversizedPayloadError`; with it,
+        every refusal becomes an explicit :class:`Rejected` verdict and
+        ``None`` means admitted.
         """
+        admission = self.admission
         ceiling = self.max_envelope_bytes
         if ceiling is not None:
             if not isinstance(ceiling, int):
                 ceiling = ceiling.get(envelope.channel_id)
             if ceiling is not None:
-                check_payload_size(envelope.payload_ref(), ceiling)
+                if admission is None:
+                    check_payload_size(envelope.payload_ref(), ceiling)
+                elif payload_length(envelope.payload_ref()) > ceiling:
+                    return self._reject(
+                        envelope, admission.reject_oversized(envelope.submitter)
+                    )
+        if admission is not None:
+            verdict = admission.admit(envelope.submitter, self.sim.now)
+            if verdict is not None:
+                return self._reject(envelope, verdict)
         if envelope.create_time is None:
             envelope.create_time = self.sim.now
         self.envelopes_submitted += 1
@@ -139,6 +155,14 @@ class QuorumFrontend:
         self._rid_by_env[envelope.envelope_id] = request.request_id
         self.network.send(self.name, self._home, request, request.wire_size())
         self._arm_timer()
+        return None
+
+    def _reject(self, envelope: Envelope, verdict: Rejected) -> Rejected:
+        if self.obs is not None:
+            self.obs.on_reject(
+                self.name, envelope.submitter, verdict.reason, self.sim.now
+            )
+        return verdict
 
     def _arm_timer(self) -> None:
         if self._timer_armed:
@@ -229,10 +253,13 @@ class QuorumFrontend:
         self._delivered_count += 1
         self._last_delivery = self.sim.now
         self.blocks_delivered += 1
+        freed = 0
         for envelope in block.envelopes:
             rid = self._rid_by_env.pop(envelope.envelope_id, None)
-            if rid is not None:
-                self._outstanding.pop(rid, None)
+            if rid is not None and self._outstanding.pop(rid, None) is not None:
+                freed += 1
+        if freed and self.admission is not None:
+            self.admission.release(freed)
         if self.obs is not None:
             self.obs.on_block_delivered(self.name, block, self.sim.now)
         self.delivered_digests.setdefault(channel, []).append(block.header.digest())

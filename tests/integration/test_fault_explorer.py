@@ -130,3 +130,40 @@ class TestShrinking:
         minimal, result = shrink_schedule(0, events, cfg, max_runs=4)
         # shrinking a passing schedule immediately converges on itself
         assert [e.describe() for e in minimal] == [e.describe() for e in events]
+
+
+class TestOverloadProfile:
+    """The adversarial-overload schedule space (``--profile overload``):
+    client floods against the admission-controlled service, judged by
+    the no-silent-drop backpressure invariant instead of count-based
+    liveness (explicit rejections legitimately shrink commits)."""
+
+    def test_overload_seeds_zero_violations(self):
+        cfg = ExplorerConfig(profile="overload")
+        report = explore(seeds=10, cfg=cfg)
+        failing = {r.seed: [str(v) for v in r.violations] for r in report.failures}
+        assert report.ok, f"seeds with violations: {failing}"
+
+    def test_every_schedule_leads_with_flood(self):
+        from repro.faults import FloodClient
+
+        cfg = ExplorerConfig(profile="overload")
+        for seed in range(10):
+            events = sample_schedule(seed, cfg)
+            assert any(
+                isinstance(e.action, FloodClient) for e in events
+            ), f"seed {seed} has no flood"
+
+    def test_overload_profile_is_reproducible(self):
+        cfg = ExplorerConfig(profile="overload")
+        first = run_seed(7, cfg)
+        second = run_seed(7, cfg)
+        assert first.trace == second.trace
+        assert first.ledger_digest == second.ledger_digest
+
+    def test_default_profile_unperturbed(self):
+        """The overload stream must not change the default profile's
+        schedules (historical seeds stay reproducible)."""
+        default = [e.describe() for e in sample_schedule(3)]
+        _ = sample_schedule(3, ExplorerConfig(profile="overload"))
+        assert [e.describe() for e in sample_schedule(3)] == default

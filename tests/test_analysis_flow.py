@@ -99,6 +99,42 @@ class TestRepoIsClean:
         assert analysis_main(["flow"]) == 0
         assert "clean" in capsys.readouterr().out
 
+    def test_workload_package_is_on_the_flow_surface(self):
+        from repro.analysis.flow import DEFAULT_FLOW_PATHS
+
+        assert "src/repro/workload" in DEFAULT_FLOW_PATHS
+        findings, _ = analyze_flow(["src/repro/workload"])
+        assert findings == []
+
+    def test_workload_scheduling_is_proto_clean(self):
+        """The workload engine schedules exclusively through the
+        simulator: the PROTO003 scheduler-bypass rule (and the rest of
+        the DET/PROTO catalog) has nothing to flag in the package."""
+        from repro.analysis import analyze_paths
+
+        assert analyze_paths(["src/repro/workload"]) == []
+
+    def test_proto003_catches_a_scheduler_bypass_in_workload_code(self):
+        """Teeth check: a generator that reaches for ``threading`` or
+        ``time.sleep`` instead of ``sim.post`` is flagged."""
+        from repro.analysis import analyze_source
+
+        planted = textwrap.dedent(
+            """\
+            import threading
+            import time
+
+
+            class RogueGenerator:
+                def start(self):
+                    time.sleep(0.1)
+            """
+        )
+        findings = analyze_source("src/repro/workload/scratch.py", planted)
+        assert {f.rule for f in findings} >= {"PROTO003"}
+        assert any("threading" in f.message for f in findings)
+        assert any("time.sleep" in f.message for f in findings)
+
     def test_smart_protocol_paths_have_zero_suppressions(self):
         offenders = []
         for path in sorted(SMART.rglob("*.py")):

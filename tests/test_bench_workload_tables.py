@@ -96,6 +96,81 @@ class TestOpenLoopGenerator:
         with pytest.raises(ValueError):
             generator.start()
 
+    def test_stop_is_idempotent_and_sticky(self):
+        service = small_service()
+        generator = OpenLoopGenerator(
+            sim=service.sim,
+            frontends=service.frontends,
+            channel_id="ch0",
+            envelope_size=100,
+            rate_per_second=500.0,
+            duration=10.0,
+        )
+        generator.start()
+        service.run(0.05)
+        generator.stop()
+        generator.stop()  # double stop is harmless
+        count = generator.submitted
+        service.run(1.0)
+        assert generator.submitted == count
+
+    def test_deterministic_arrival_sequence(self):
+        """Same seed => byte-identical submission times and counts."""
+        from repro.sim.randomness import RandomStreams
+
+        def arrivals(seed):
+            service = small_service()
+            times = []
+            original = service.frontends[0].submit
+
+            def probe(envelope, _original=original, _times=times):
+                _times.append(service.sim.now)
+                return _original(envelope)
+
+            service.frontends[0].submit = probe
+            generator = OpenLoopGenerator(
+                sim=service.sim,
+                frontends=[service.frontends[0]],
+                channel_id="ch0",
+                envelope_size=100,
+                rate_per_second=200.0,
+                duration=0.5,
+                jitter_fraction=0.3,
+                streams=RandomStreams(seed),
+            )
+            generator.start()
+            service.run(2.0)
+            return times
+
+        first = arrivals(7)
+        assert len(first) > 50
+        assert arrivals(7) == first
+        assert arrivals(8) != first
+
+    def test_unjittered_arrivals_are_evenly_spaced(self):
+        service = small_service()
+        times = []
+        for frontend in service.frontends:
+            original = frontend.submit
+
+            def probe(envelope, _original=original):
+                times.append(service.sim.now)
+                return _original(envelope)
+
+            frontend.submit = probe
+        generator = OpenLoopGenerator(
+            sim=service.sim,
+            frontends=service.frontends,
+            channel_id="ch0",
+            envelope_size=100,
+            rate_per_second=100.0,
+            duration=0.5,
+        )
+        generator.start()
+        service.run(2.0)
+        gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+        assert gaps == {0.01}
+
 
 class TestClosedLoopClients:
     def test_completes_all_envelopes(self):
@@ -127,6 +202,40 @@ class TestClosedLoopClients:
         assert len(clients._outstanding) == 3
         service.run(30.0)
         assert clients.completed == 30
+
+    def test_done_semantics(self):
+        service = small_service(block_size=2, num_frontends=1)
+        clients = ClosedLoopClients(
+            sim=service.sim,
+            frontend=service.frontends[0],
+            channel_id="ch0",
+            envelope_size=64,
+            clients=2,
+            max_envelopes=6,
+        )
+        assert not clients.done  # nothing completed yet
+        clients.start()
+        assert not clients.done  # submissions are in flight, not done
+        service.run(20.0)
+        assert clients.done
+        assert clients.submitted == 6
+        # done stays true and no extra submissions happen afterwards
+        service.run(5.0)
+        assert clients.done and clients.submitted == 6
+
+    def test_clients_capped_by_max_envelopes(self):
+        service = small_service(block_size=2, num_frontends=1)
+        clients = ClosedLoopClients(
+            sim=service.sim,
+            frontend=service.frontends[0],
+            channel_id="ch0",
+            envelope_size=64,
+            clients=10,
+            max_envelopes=3,
+        )
+        clients.start()
+        assert clients.submitted == 3
+        assert len(clients._outstanding) == 3
 
 
 class TestRendering:

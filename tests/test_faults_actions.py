@@ -21,6 +21,7 @@ from repro.faults import (
     EquivocatePropose,
     FaultEvent,
     FaultInjector,
+    FloodClient,
     Match,
     MuteReplica,
     Partition,
@@ -338,6 +339,76 @@ class TestControlFaults:
         cluster.run(0.5)
         # leader swallowed the proposal: nothing was ordered yet
         assert all(app.total == 0 for app in cluster.apps)
+
+
+class TestFloodClient:
+    def test_floods_frontend_with_pinned_duplicate_ids(self, net):
+        from repro.fabric.api import SubmitEnvelope
+
+        sim, network, recorders = net
+        injector = FaultInjector(network, seed=0)
+        flood = FloodClient(1, rate=100.0, unique_every=4, id_base=5000)
+        injector.start(flood)
+        sim.run(until=0.1)
+        injector.stop(flood)
+        payloads = recorders[1].payloads()
+        assert 8 <= len(payloads) <= 12  # ~100/s for 0.1s
+        assert all(isinstance(p, SubmitEnvelope) for p in payloads)
+        ids = [p.envelope.envelope_id for p in payloads]
+        # every 4th submission mints a fresh id; the rest replay it
+        assert ids[:8] == [5000] * 4 + [5001] * 4
+        assert payloads[0].envelope.submitter == "mallory"
+
+    def test_attacker_endpoint_registered_and_cleaned_up(self, net):
+        sim, network, recorders = net
+        before = set(network.node_ids())
+        injector = FaultInjector(network, seed=0)
+        flood = FloodClient(1, rate=50.0)
+        injector.start(flood)
+        assert flood.attacker_id in set(network.node_ids()) - before
+        sim.run(until=0.05)
+        injector.stop(flood)
+        assert set(network.node_ids()) == before
+        # stopping silences the flood
+        count = len(recorders[1].payloads())
+        sim.run(until=0.2)
+        assert len(recorders[1].payloads()) == count
+
+    def test_start_resets_run_state_for_replay(self, net):
+        """Pure-configuration contract: the shrinker re-runs the same
+        action object against a fresh deployment and must get the same
+        id sequence."""
+        sim, network, recorders = net
+        flood = FloodClient(1, rate=100.0, unique_every=2, id_base=9000)
+        injector = FaultInjector(network, seed=0)
+        injector.start(flood)
+        sim.run(until=0.05)
+        injector.stop(flood)
+        drain(sim)  # deliver the in-flight tail
+        first = [p.envelope.envelope_id for p in recorders[1].payloads()]
+        assert flood.sent == len(first)
+
+        sim2 = Simulator()
+        network2 = Network(sim2, ConstantLatency(LATENCY))
+        recorder2 = Recorder(sim2)
+        network2.register(1, recorder2)
+        injector2 = FaultInjector(network2, seed=0)
+        injector2.start(flood)
+        sim2.run(until=0.05)
+        injector2.stop(flood)
+        sim2.run()
+        assert [p.envelope.envelope_id for p in recorder2.payloads()] == first
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FloodClient(1, rate=0.0)
+
+    def test_describe_names_target_and_rate(self):
+        text = FloodClient(1, rate=500.0, unique_every=3).describe()
+        assert "flood-client" in text
+        assert "dst=1" in text
+        assert "rate=500.0" in text
+        assert "unique-every=3" in text
 
 
 class TestInjectorLifecycle:

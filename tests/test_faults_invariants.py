@@ -157,3 +157,145 @@ class TestMutationFork:
             check_log_agreement(replica_log_digests(cluster.replicas), exclude=[1])
             == []
         )
+
+
+class _StubFrontend:
+    """Minimal frontend surface for SubmissionRecorder: a ``submit``
+    returning a scripted verdict per envelope id, and an ``on_block``
+    hook list."""
+
+    def __init__(self, verdicts=None):
+        self.on_block = []
+        self._verdicts = dict(verdicts or {})
+
+    def submit(self, envelope):
+        return self._verdicts.get(envelope.envelope_id)
+
+
+def _envelope(envelope_id):
+    from repro.fabric.envelope import Envelope
+
+    return Envelope(
+        channel_id="ch0",
+        transaction=None,
+        payload_size=64,
+        submitter="client",
+        envelope_id=envelope_id,
+    )
+
+
+def _block(*envelope_ids):
+    from repro.fabric.block import Block, BlockHeader
+
+    header = BlockHeader(number=0, previous_hash=b"p", data_hash=b"d")
+    return Block(
+        header=header,
+        envelopes=[_envelope(envelope_id) for envelope_id in envelope_ids],
+        channel_id="ch0",
+    )
+
+
+class TestSubmissionRecorder:
+    def test_classifies_admitted_rejected_committed(self):
+        from repro.faults import SubmissionRecorder
+        from repro.ordering import Rejected
+
+        frontend = _StubFrontend({2: Rejected("rate-limited", 0.1)})
+        recorder = SubmissionRecorder([frontend])
+        assert frontend.submit(_envelope(1)) is None
+        assert frontend.submit(_envelope(2)).reason == "rate-limited"
+        frontend.on_block[0](_block(1))
+        assert recorder.admitted_ids() == {1}
+        assert recorder.committed == {1}
+        assert recorder.unresolved_ids() == set()
+
+    def test_wrapping_preserves_verdicts(self):
+        """The recorder is a tap, not a filter: callers still see the
+        original verdict object."""
+        from repro.faults import SubmissionRecorder
+        from repro.ordering import Rejected
+
+        verdict = Rejected("window-full", 0.5)
+        frontend = _StubFrontend({7: verdict})
+        SubmissionRecorder([frontend])
+        assert frontend.submit(_envelope(7)) is verdict
+
+    def test_duplicate_submissions_accumulate_verdicts(self):
+        from repro.faults import SubmissionRecorder
+        from repro.ordering import Rejected
+
+        frontend = _StubFrontend()
+        recorder = SubmissionRecorder([frontend])
+        frontend.submit(_envelope(5))
+        frontend._verdicts[5] = Rejected("rate-limited", 0.1)
+        frontend.submit(_envelope(5))
+        assert len(recorder.outcomes[5]) == 2
+        # one admission is enough to demand a commit
+        assert recorder.admitted_ids() == {5}
+
+
+class TestNoSilentDrop:
+    """Mutation tests: the backpressure invariant must have teeth."""
+
+    def test_clean_run_passes(self):
+        from repro.faults import SubmissionRecorder, check_no_silent_drop
+        from repro.ordering import Rejected
+
+        frontend = _StubFrontend({2: Rejected("rate-limited", 0.1)})
+        recorder = SubmissionRecorder([frontend])
+        frontend.submit(_envelope(1))
+        frontend.submit(_envelope(2))
+        frontend.on_block[0](_block(1))
+        assert check_no_silent_drop(recorder) == []
+
+    def test_admitted_but_never_committed_flagged(self):
+        from repro.faults import SubmissionRecorder, check_no_silent_drop
+
+        frontend = _StubFrontend()
+        recorder = SubmissionRecorder([frontend])
+        frontend.submit(_envelope(41))
+        frontend.submit(_envelope(42))
+        frontend.on_block[0](_block(41))
+        (violation,) = check_no_silent_drop(recorder)
+        assert violation.invariant == "no-silent-drop"
+        assert "42" in violation.detail
+
+    def test_rejection_without_reason_flagged(self):
+        from repro.faults import SubmissionRecorder, check_no_silent_drop
+        from repro.ordering import Rejected
+
+        frontend = _StubFrontend({9: Rejected("", 0.0)})
+        recorder = SubmissionRecorder([frontend])
+        frontend.submit(_envelope(9))
+        violations = check_no_silent_drop(recorder)
+        assert any("without a reason" in v.detail for v in violations)
+
+    def test_live_service_silent_drop_is_caught(self):
+        """End to end: admit an envelope into a real frontend, then
+        make the orderer lose it (drop the frontend's outbound link)
+        -- the invariant must flag the admitted-but-uncommitted id."""
+        from repro.faults import (
+            Drop,
+            FaultInjector,
+            Match,
+            SubmissionRecorder,
+            check_no_silent_drop,
+        )
+        from repro.fabric.channel import ChannelConfig
+        from repro.ordering import OrderingServiceConfig, build_ordering_service
+        from repro.ordering.service import FRONTEND_ID_BASE
+
+        config = OrderingServiceConfig(
+            f=1,
+            channel=ChannelConfig("ch0", max_message_count=4, batch_timeout=0.05),
+            enable_batch_timeout=True,
+            physical_cores=None,
+        )
+        service = build_ordering_service(config)
+        recorder = SubmissionRecorder(service.frontends)
+        injector = FaultInjector(service.network, seed=0)
+        injector.start(Drop(Match(src=FRONTEND_ID_BASE)))
+        assert service.frontends[0].submit(_envelope(1)) is None
+        service.sim.run(until=5.0)
+        (violation,) = check_no_silent_drop(recorder)
+        assert violation.invariant == "no-silent-drop"

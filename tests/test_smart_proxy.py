@@ -98,6 +98,48 @@ class TestProxy:
             )
         assert not future.done
 
+    def test_retry_delay_is_capped_exponential(self, cluster):
+        proxy = cluster.proxy(invoke_timeout=1.0, max_retries=10)
+        proxy.max_backoff = 8.0
+        assert proxy.retry_delay(0) == 1.0
+        assert proxy.retry_delay(1) == 2.0
+        assert proxy.retry_delay(2) == 4.0
+        assert proxy.retry_delay(3) == 8.0
+        assert proxy.retry_delay(7) == 8.0  # capped
+
+    def test_retry_delay_jitter_is_seeded_and_bounded(self, cluster):
+        from repro.sim.randomness import RandomStreams
+
+        def delays(seed):
+            proxy = cluster.proxy(invoke_timeout=1.0)
+            proxy.rng = RandomStreams(seed).stream("proxy-backoff")
+            return [proxy.retry_delay(k) for k in range(6)]
+
+        first = delays(3)
+        assert delays(3) == first  # same seed, same jitter
+        assert delays(4) != first
+        for k, delay in enumerate(first):
+            base = min(1.0 * 2.0 ** k, 30.0)
+            assert base * 0.9 <= delay <= base * 1.1
+
+    def test_retries_back_off_exponentially(self, cluster):
+        """With every replica down, observed retransmit gaps double."""
+        for replica in cluster.replicas:
+            replica.crash()
+        proxy = cluster.proxy(invoke_timeout=0.5, max_retries=4)
+        transmissions = []
+        original = proxy._transmit
+
+        def probe(request):
+            transmissions.append(cluster.sim.now)
+            original(request)
+
+        proxy._transmit = probe
+        proxy.invoke(1)
+        cluster.run(60.0)
+        gaps = [round(b - a, 6) for a, b in zip(transmissions, transmissions[1:])]
+        assert gaps == [0.5, 1.0, 2.0, 4.0]
+
     def test_gives_up_after_max_retries(self, cluster):
         for replica in cluster.replicas:
             replica.crash()
